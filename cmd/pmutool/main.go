@@ -1,0 +1,67 @@
+// Command pmutool is the paper's Figure 2 analysis toolset: it prepares the
+// vendor event list, collects counters online around paired scenarios, and
+// applies the offline differential filter that surfaces the Table 3 events.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whisper/internal/experiments"
+	"whisper/internal/pmu"
+)
+
+func main() {
+	var (
+		table3 = flag.Bool("table3", false, "regenerate Table 3 (all scenes)")
+		flow   = flag.Bool("flow", false, "describe and demonstrate the 3-stage analysis flow")
+		events = flag.Bool("events", false, "stage 1 only: list the harvested event records")
+		vendor = flag.String("vendor", "intel", "event vendor for -events: intel|amd")
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
+		topN   = flag.Int("top", 12, "significant events to show per scene")
+	)
+	flag.Parse()
+	if !*table3 && !*flow && !*events {
+		*flow = true
+	}
+
+	if *events {
+		v := pmu.Intel
+		if *vendor == "amd" {
+			v = pmu.AMD
+		}
+		fmt.Printf("stage 1 (preparation): %s PMU event records\n", *vendor)
+		for _, e := range pmu.EventsForVendor(v) {
+			d := e.Desc()
+			fmt.Printf("  %-50s %-12s %s\n", d.Name, d.Domain, d.Help)
+		}
+		return
+	}
+
+	scenes, err := experiments.Table3(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmutool:", err)
+		os.Exit(1)
+	}
+
+	if *flow {
+		fmt.Println("PMU analysis flow (paper Fig. 2):")
+		fmt.Println("  stage 1  preparation: harvest the vendor's event records (-events)")
+		fmt.Println("  stage 2  online collection: run each scenario pair, snapshot all counters per run")
+		fmt.Println("  stage 3  offline analysis: differential filter (Welch t) surfaces the relevant events")
+		fmt.Println()
+		for _, s := range scenes {
+			diffs := s.Diffs
+			if len(diffs) > *topN {
+				diffs = diffs[:*topN]
+			}
+			fmt.Println(pmu.Report(
+				fmt.Sprintf("%s — %s (top %d significant events)", s.CPU, s.Name, len(diffs)),
+				s.LabelA, s.LabelB, diffs))
+		}
+	}
+	if *table3 {
+		fmt.Println(experiments.RenderTable3(scenes))
+	}
+}

@@ -1,0 +1,155 @@
+// Command tetbench regenerates the paper's tables and figures on the
+// simulated machines. Each -exp value corresponds to one artefact of the
+// evaluation; "all" runs everything (see EXPERIMENTS.md for the index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whisper/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all|table1|table2|table3|fig1b|fig3|fig4|throughput|kaslr|mitigations|stealth|condfamily|noise")
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
+		bytes  = flag.Int("bytes", 32, "payload size for throughput experiments")
+		reps   = flag.Int("reps", 16, "probes per KASLR candidate slot")
+		asJSON = flag.Bool("json", false, "run everything and emit one JSON report to stdout")
+	)
+	flag.Parse()
+
+	if *asJSON {
+		params := experiments.DefaultReportParams()
+		params.Seed = *seed
+		params.ThroughputBytes = *bytes
+		params.KASLRReps = *reps
+		report, err := experiments.RunAll(params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tetbench:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tetbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "tetbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		fmt.Println(experiments.Table1())
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := experiments.Table2(experiments.DefaultTable2Params(), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+		if ok, diffs := experiments.Table2Agrees(rows); ok {
+			fmt.Println("all decided cells match the paper")
+		} else {
+			fmt.Println("DEVIATIONS:", diffs)
+		}
+		fmt.Println()
+		return nil
+	})
+	run("table3", func() error {
+		scenes, err := experiments.Table3(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable3(scenes))
+		return nil
+	})
+	run("fig1b", func() error {
+		r, err := experiments.Fig1b(8, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Render())
+		return nil
+	})
+	run("fig3", func() error {
+		s, err := experiments.Fig3(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable3([]experiments.Table3Scene{s}))
+		return nil
+	})
+	run("fig4", func() error {
+		pts, err := experiments.Fig4(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig4(pts))
+		return nil
+	})
+	run("throughput", func() error {
+		rows, err := experiments.Throughput(*bytes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderThroughput(rows))
+		return nil
+	})
+	run("kaslr", func() error {
+		rows, err := experiments.KASLRSuite(*reps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderKASLRSuite(rows))
+		return nil
+	})
+	run("mitigations", func() error {
+		rows, err := experiments.Mitigations(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderMitigations(rows))
+		if ok, diffs := experiments.MitigationsAgree(rows); ok {
+			fmt.Println("all cells match the paper's §6 discussion")
+		} else {
+			fmt.Println("DEVIATIONS:", diffs)
+		}
+		fmt.Println()
+		return nil
+	})
+	run("stealth", func() error {
+		rows, err := experiments.Stealth(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderStealth(rows))
+		return nil
+	})
+	run("condfamily", func() error {
+		rows, err := experiments.CondFamily(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCondFamily(rows))
+		return nil
+	})
+	run("noise", func() error {
+		pts, err := experiments.NoiseSweep(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderNoiseSweep(pts))
+		return nil
+	})
+}

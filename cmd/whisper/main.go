@@ -1,0 +1,206 @@
+// Command whisper runs a single Whisper attack on a chosen CPU model and
+// prints what leaked. It is the interactive front door to the library; the
+// full evaluation lives in cmd/tetbench.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/smt"
+	"whisper/internal/stats"
+	"whisper/internal/trace"
+)
+
+func modelByName(name string) (cpu.Model, bool) {
+	for _, m := range cpu.AllModels() {
+		if strings.EqualFold(m.Microarch, name) || strings.EqualFold(m.Name, name) {
+			return m, true
+		}
+	}
+	return cpu.Model{}, false
+}
+
+func main() {
+	var (
+		attack  = flag.String("attack", "md", "attack: cc|md|zbl|rsb|v1|kaslr|smt")
+		cpuName = flag.String("cpu", "Kaby Lake", "CPU model (microarchitecture or full name)")
+		secret  = flag.String("secret", "squeamish ossifrage", "victim secret to plant and leak")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		kpti    = flag.Bool("kpti", false, "enable KPTI")
+		flare   = flag.Bool("flare", false, "enable FLARE")
+		docker  = flag.Bool("docker", false, "run the attacker inside a container")
+		showWin = flag.Bool("trace", false, "after the attack, render one probe's pipeline diagram")
+	)
+	flag.Parse()
+
+	model, ok := modelByName(*cpuName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "whisper: unknown CPU %q; options:\n", *cpuName)
+		for _, m := range cpu.AllModels() {
+			fmt.Fprintf(os.Stderr, "  %q (%s)\n", m.Microarch, m.Name)
+		}
+		os.Exit(2)
+	}
+	m, err := cpu.NewMachine(model, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := kernel.Boot(m, kernel.Config{KASLR: true, KPTI: *kpti, FLARE: *flare, Docker: *docker})
+	if err != nil {
+		fatal(err)
+	}
+	want := []byte(*secret)
+	fmt.Printf("machine: %s (%s), KASLR base %#x (hidden from the attack)\n",
+		model.Name, model.Microarch, k.KASLRBase())
+
+	report := func(name string, res core.LeakResult) {
+		fmt.Printf("%s leaked %q\n", name, res.Data)
+		fmt.Printf("  throughput %.1f B/s, byte error rate %.1f%%, %d simulated cycles (%.4fs at %.1f GHz)\n",
+			res.Bps, stats.ByteErrorRate(res.Data, want)*100, res.Cycles,
+			m.Seconds(res.Cycles), model.ClockHz/1e9)
+	}
+
+	switch *attack {
+	case "md":
+		k.WriteSecret(want)
+		a, err := core.NewTETMeltdown(k)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := a.Leak(k.SecretVA(), len(want))
+		if err != nil {
+			fatal(err)
+		}
+		report("TET-Meltdown", res)
+	case "zbl":
+		k.WriteSecret(want)
+		a, err := core.NewTETZombieload(k)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := a.Leak(len(want))
+		if err != nil {
+			fatal(err)
+		}
+		report("TET-Zombieload", res)
+	case "rsb":
+		secretVA := uint64(kernel.UserDataBase + 0x500)
+		pa, ok := k.UserAS().Translate(secretVA)
+		if !ok {
+			fatal(fmt.Errorf("secret VA unmapped"))
+		}
+		m.Phys.StoreBytes(pa, want)
+		a, err := core.NewTETRSB(k)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := a.Leak(secretVA, len(want))
+		if err != nil {
+			fatal(err)
+		}
+		report("TET-Spectre-RSB", res)
+	case "v1":
+		v1, err := core.NewTETSpectreV1(k)
+		if err != nil {
+			fatal(err)
+		}
+		pa, ok := k.UserAS().Translate(v1.ArrayVA() + v1.ArrayLen())
+		if !ok {
+			fatal(fmt.Errorf("V1 secret region unmapped"))
+		}
+		m.Phys.StoreBytes(pa, want)
+		res, err := v1.Leak(v1.ArrayLen(), len(want))
+		if err != nil {
+			fatal(err)
+		}
+		report("TET-Spectre-V1 (extension)", res)
+	case "cc":
+		a, err := core.NewTETCovertChannel(k)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := a.Transfer(want)
+		if err != nil {
+			fatal(err)
+		}
+		report("TET covert channel", res)
+	case "smt":
+		a, err := smt.NewChannel(k, smt.ModeReliable)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := a.Transfer(want[:min(len(want), 4)])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("SMT covert channel received %q (%.2f B/s, bit error %.1f%%)\n",
+			res.Data, res.Bps, stats.BitErrorRate(res.Data, want[:len(res.Data)])*100)
+	case "kaslr":
+		a, err := core.NewTETKASLR(k)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := a.Locate()
+		if err != nil {
+			fatal(err)
+		}
+		verdict := "WRONG"
+		if res.Base == k.KASLRBase() {
+			verdict = "correct"
+		}
+		fmt.Printf("TET-KASLR recovered base %#x (slot %d) in %.4f s — %s\n",
+			res.Base, res.Slot, res.Seconds, verdict)
+	default:
+		fmt.Fprintf(os.Stderr, "whisper: unknown attack %q\n", *attack)
+		os.Exit(2)
+	}
+
+	if *showWin {
+		if err := renderWindow(k); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// renderWindow runs one traced TET probe and prints its pipeline diagram —
+// the transient window the attack just timed.
+func renderWindow(k *kernel.Kernel) error {
+	m := k.Machine()
+	pr, err := core.NewProber(m, core.SuppressTSX, true)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ { // steady state
+		if _, err := pr.Probe(core.UnmappedVA, 256, 0); err != nil {
+			return err
+		}
+	}
+	c := trace.NewCollector(0)
+	c.Attach(m.Pipe)
+	defer m.Pipe.SetTracer(nil)
+	tote, err := pr.Probe(core.UnmappedVA, 1, 1) // triggered probe
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\none traced probe (Jcc triggered, ToTE = %d cycles):\n", tote)
+	fmt.Print(trace.Render(c.Records(), 88))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whisper:", err)
+	os.Exit(1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+// Breaking KASLR under the strongest deployed defenses: KPTI plus FLARE on
+// a Meltdown-resistant CPU — and then the one mitigation that still blunts
+// the exploit chain, FGKASLR.
+//
+//	go run ./examples/kaslr
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+)
+
+func main() {
+	// Meltdown-resistant Comet Lake box, KASLR + KPTI + FLARE all on.
+	machine, err := cpu.NewMachine(cpu.I9_10980XE(), 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := kernel.Boot(machine, kernel.Config{KASLR: true, KPTI: true, FLARE: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booted %s with KASLR+KPTI+FLARE; true base %#x (the attack never sees this)\n",
+		machine.Model.Name, k.KASLRBase())
+
+	attack, err := core.NewTETKASLR(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := attack.Locate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := "WRONG"
+	if res.Base == k.KASLRBase() {
+		status = "correct"
+	}
+	fmt.Printf("TET-KASLR: base %#x (slot %d/512) in %.4f s — %s\n",
+		res.Base, res.Slot, res.Seconds, status)
+
+	// The code-reuse payload step: derive a gadget address from the base.
+	derived := res.Base + kernel.KernelFunctions["commit_creds"]
+	actual, err := k.FunctionVA("commit_creds")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived commit_creds = %#x, actual = %#x — exploit chain %s\n",
+		derived, actual, map[bool]string{true: "COMPLETE", false: "broken"}[derived == actual])
+
+	// Now the §6.2 software mitigation: FGKASLR. The base still leaks, but
+	// per-function shuffling severs offset reuse.
+	machine2, err := cpu.NewMachine(cpu.I9_10980XE(), 23)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k2, err := kernel.Boot(machine2, kernel.Config{KASLR: true, KPTI: true, FGKASLR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack2, err := core.NewTETKASLR(k2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := attack2.Locate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	derived2 := res2.Base + kernel.KernelFunctions["commit_creds"]
+	actual2, err := k2.FunctionVA("commit_creds")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith FGKASLR: base %#x still found (%v), but derived commit_creds %#x != actual %#x\n",
+		res2.Base, res2.Base == k2.KASLRBase(), derived2, actual2)
+	fmt.Println("the offset-reuse step is dead — at the performance cost §6.2 notes.")
+}

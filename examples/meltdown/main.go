@@ -1,0 +1,56 @@
+// Meltdown through the timing channel: leak a kernel secret with TET-MD on
+// a vulnerable part, then watch the same attack collapse on a patched one —
+// the Table 2 ✓/✗ pair, live.
+//
+//	go run ./examples/meltdown
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+func leak(model cpu.Model, secret []byte) (core.LeakResult, error) {
+	machine, err := cpu.NewMachine(model, 11)
+	if err != nil {
+		return core.LeakResult{}, err
+	}
+	k, err := kernel.Boot(machine, kernel.Config{KASLR: true})
+	if err != nil {
+		return core.LeakResult{}, err
+	}
+	// The victim: a kernel-space secret at an address the attacker knows
+	// (threat model §4.2) but cannot architecturally read.
+	k.WriteSecret(secret)
+	md, err := core.NewTETMeltdown(k)
+	if err != nil {
+		return core.LeakResult{}, err
+	}
+	return md.Leak(k.SecretVA(), len(secret))
+}
+
+func main() {
+	secret := []byte("root:$6$saltsalt$hash")
+
+	res, err := leak(cpu.I7_7700(), secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("i7-7700 (vulnerable):  leaked %q\n", res.Data)
+	fmt.Printf("  %.0f B/s, byte error %.1f%% — no cache covert channel involved;\n",
+		res.Bps, stats.ByteErrorRate(res.Data, secret)*100)
+	fmt.Println("  the secret left the transient window purely as execution time.")
+
+	res, err = leak(cpu.I9_10980XE(), secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ni9-10980XE (patched):  leaked %q\n", res.Data)
+	fmt.Printf("  byte error %.1f%% — the microcode fix forwards zeros, so the sweep decodes noise.\n",
+		stats.ByteErrorRate(res.Data, secret)*100)
+}

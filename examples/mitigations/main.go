@@ -1,0 +1,121 @@
+// Mitigations: the paper's §6 argument in one run. An InvisiSpec-style
+// "make speculation invisible in the cache" defense kills the classic
+// Flush+Reload Meltdown — and does nothing to TET-Meltdown, because the
+// secret leaves as execution time, not as cache state. Then the defenses
+// that do work: KPTI and VERW scrubbing.
+//
+//	go run ./examples/mitigations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"whisper/internal/baseline"
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+func verdict(got []byte, want []byte) string {
+	if stats.ByteErrorRate(got, want) < 0.25 {
+		return fmt.Sprintf("LEAKED %q", got)
+	}
+	return "blocked"
+}
+
+func main() {
+	secret := []byte("k3y")
+
+	// A vulnerable Kaby Lake, and the same part with invisible speculation.
+	plain := cpu.I7_7700()
+	invisi := cpu.I7_7700()
+	invisi.Pipe.InvisibleSpeculation = true
+
+	for _, tc := range []struct {
+		name  string
+		model cpu.Model
+	}{
+		{"no defense       ", plain},
+		{"InvisiSpec-style ", invisi},
+	} {
+		mach, err := cpu.NewMachine(tc.model, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k, err := kernel.Boot(mach, kernel.Config{KASLR: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k.WriteSecret(secret)
+
+		md, err := core.NewTETMeltdown(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		md.Batches = 3
+		tet, err := md.Leak(k.SecretVA(), len(secret))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fr, err := baseline.NewMeltdownFR(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frRes, err := fr.Leak(k.SecretVA(), len(secret))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  TET-MD: %-16s  Meltdown-F+R: %s\n",
+			tc.name, verdict(tet.Data, secret), verdict(frRes.Data, secret))
+	}
+
+	// What actually stops TET-MD: KPTI (nothing mapped, nothing forwarded).
+	mach, err := cpu.NewMachine(plain, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := kernel.Boot(mach, kernel.Config{KASLR: true, KPTI: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.WriteSecret(secret)
+	md, err := core.NewTETMeltdown(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	md.Batches = 3
+	res, err := md.Leak(k.SecretVA(), len(secret))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("KPTI              TET-MD: %s\n", verdict(res.Data, secret))
+
+	// And what stops TET-ZBL: scrubbing the fill buffers on context switch.
+	for _, verw := range []bool{false, true} {
+		mach, err := cpu.NewMachine(plain, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		k, err := kernel.Boot(mach, kernel.Config{KASLR: true, VERW: verw})
+		if err != nil {
+			log.Fatal(err)
+		}
+		k.WriteSecret(secret)
+		z, err := core.NewTETZombieload(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		z.Batches = 3
+		res, err := z.Leak(len(secret))
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "no VERW          "
+		if verw {
+			label = "VERW scrubbing   "
+		}
+		fmt.Printf("%s  TET-ZBL: %s\n", label, verdict(res.Data, secret))
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: observe the Whisper TET side channel in its rawest form.
+//
+// We build a Kaby Lake machine, boot a kernel on it, and measure the
+// transient execution time (ToTE) of the Fig. 1a gadget with the in-window
+// Jcc triggering vs not. The timing difference IS the channel.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+func main() {
+	// A simulated Intel Core i7-7700 with a deterministic seed.
+	machine, err := cpu.NewMachine(cpu.I7_7700(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := kernel.Boot(machine, kernel.Config{KASLR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = k
+
+	// A TET prober: rdtsc / transient faulting load / conditional Jcc /
+	// rdtsc. The Jcc compares two attacker registers, so we can switch the
+	// trigger at will.
+	prober, err := core.NewProber(machine, core.SuppressTSX, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	histTrigger := stats.NewHistogram()
+	histQuiet := stats.NewHistogram()
+	for i := 0; i < 400; i++ {
+		t, err := prober.ProbeStable(core.UnmappedVA, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		histTrigger.Add(t)
+		t, err = prober.ProbeStable(core.UnmappedVA, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		histQuiet.Add(t)
+	}
+
+	fmt.Println("ToTE distribution, Jcc NOT triggered:")
+	fmt.Print(histQuiet.Render(6))
+	fmt.Println("\nToTE distribution, Jcc triggered (misprediction inside the transient window):")
+	fmt.Print(histTrigger.Render(6))
+	fmt.Printf("\nmedians: quiet=%d cycles, triggered=%d cycles — the gap is the Whisper channel.\n",
+		histQuiet.Quantile(0.5), histTrigger.Quantile(0.5))
+}

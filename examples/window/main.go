@@ -1,0 +1,68 @@
+// Window: render the transient execution window the Whisper channel times.
+//
+// Two pipeline traces of the same Fig. 1a gadget — one where the in-window
+// Jcc does not trigger, one where it does. The rows marked "(transient)"
+// never become architectural; their only externally visible effect is the
+// distance between the two RDTSC rows, which is exactly what TET measures.
+//
+//	go run ./examples/window
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/trace"
+)
+
+func main() {
+	m := cpu.MustMachine(cpu.I7_7700(), 5)
+	k, err := kernel.Boot(m, kernel.Config{KASLR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.WriteSecret([]byte{'S'})
+
+	pr, err := core.NewProber(m, core.SuppressTSX, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Warm code, predictors and translations so the trace shows the steady
+	// state the attack measures.
+	for i := 0; i < 8; i++ {
+		if _, err := pr.Probe(k.SecretVA(), 256, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	collector := trace.NewCollector(0)
+	collector.Attach(m.Pipe)
+	defer m.Pipe.SetTracer(nil)
+
+	show := func(label string, test uint64) {
+		collector.Reset()
+		tote, err := pr.Probe(k.SecretVA(), test, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s (ToTE = %d cycles) ===\n", label, tote)
+		fmt.Print(trace.Render(collector.Records(), 88))
+		s := collector.Summarise()
+		fmt.Printf("uops: %d retired, %d transient (squashed)\n\n", s.Retired, s.Squashed)
+	}
+
+	show("Jcc does not trigger: test value != secret", 'X')
+	// De-train, then the matching probe.
+	for i := 0; i < 2; i++ {
+		if _, err := pr.Probe(k.SecretVA(), 256, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	collector.Reset()
+	show("Jcc triggers: test value == secret 'S'", 'S')
+
+	fmt.Println("the ToTE difference between the two runs is the Whisper side channel.")
+}

@@ -1,0 +1,3 @@
+module whisper
+
+go 1.22

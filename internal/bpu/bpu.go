@@ -1,0 +1,129 @@
+// Package bpu implements the branch prediction unit: a 2-bit-counter pattern
+// history table for conditional direction, a direct-mapped BTB for targets,
+// and the return stack buffer whose mispredictions power Spectre-V5-RSB.
+package bpu
+
+// Config sizes the predictor structures.
+type Config struct {
+	PHTEntries int
+	BTBEntries int
+	RSBEntries int
+}
+
+// DefaultConfig matches a Skylake-class client core.
+func DefaultConfig() Config {
+	return Config{PHTEntries: 4096, BTBEntries: 512, RSBEntries: 16}
+}
+
+// BPU is one core's branch prediction unit.
+type BPU struct {
+	pht []uint8 // 2-bit saturating counters; >=2 predicts taken
+	btb []btbEntry
+	rsb []uint64
+	top int // index of next push slot
+
+	condLookups   uint64
+	condMispreds  uint64
+	retPredicts   uint64
+	rsbUnderflows uint64
+}
+
+type btbEntry struct {
+	tag    uint64
+	target uint64
+	valid  bool
+}
+
+// New returns a BPU with all counters weakly-not-taken and an empty RSB.
+func New(cfg Config) *BPU {
+	if cfg.PHTEntries <= 0 || cfg.BTBEntries <= 0 || cfg.RSBEntries <= 0 {
+		panic("bpu: non-positive structure size")
+	}
+	b := &BPU{
+		pht: make([]uint8, cfg.PHTEntries),
+		btb: make([]btbEntry, cfg.BTBEntries),
+		rsb: make([]uint64, cfg.RSBEntries),
+	}
+	for i := range b.pht {
+		b.pht[i] = 1 // weakly not-taken
+	}
+	return b
+}
+
+func (b *BPU) phtIndex(pc uint64) int {
+	return int((pc >> 2) % uint64(len(b.pht)))
+}
+
+func (b *BPU) btbIndex(pc uint64) int {
+	return int((pc >> 2) % uint64(len(b.btb)))
+}
+
+// PredictCond returns the predicted direction for the conditional branch
+// at pc.
+func (b *BPU) PredictCond(pc uint64) bool {
+	b.condLookups++
+	return b.pht[b.phtIndex(pc)] >= 2
+}
+
+// UpdateCond trains the direction predictor with the resolved outcome and
+// records whether the prediction was wrong.
+func (b *BPU) UpdateCond(pc uint64, taken, mispredicted bool) {
+	i := b.phtIndex(pc)
+	if taken {
+		if b.pht[i] < 3 {
+			b.pht[i]++
+		}
+	} else if b.pht[i] > 0 {
+		b.pht[i]--
+	}
+	if mispredicted {
+		b.condMispreds++
+	}
+}
+
+// PredictTarget returns the BTB's target for the branch at pc, if any.
+func (b *BPU) PredictTarget(pc uint64) (uint64, bool) {
+	e := b.btb[b.btbIndex(pc)]
+	if e.valid && e.tag == pc {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// UpdateTarget installs the resolved target of the branch at pc.
+func (b *BPU) UpdateTarget(pc, target uint64) {
+	b.btb[b.btbIndex(pc)] = btbEntry{tag: pc, target: target, valid: true}
+}
+
+// PushRSB records a call's return address.
+func (b *BPU) PushRSB(retAddr uint64) {
+	b.rsb[b.top] = retAddr
+	b.top = (b.top + 1) % len(b.rsb)
+}
+
+// PopRSB returns the predicted return address for a ret. The RSB is a
+// circular stack: underflow wraps and returns stale data rather than
+// failing, exactly the behaviour ret2spec-style attacks rely on.
+func (b *BPU) PopRSB() (uint64, bool) {
+	b.retPredicts++
+	b.top = (b.top - 1 + len(b.rsb)) % len(b.rsb)
+	v := b.rsb[b.top]
+	if v == 0 {
+		b.rsbUnderflows++
+		return 0, false
+	}
+	return v, true
+}
+
+// FlushRSB clears the return stack (context-switch / IBPB model).
+func (b *BPU) FlushRSB() {
+	for i := range b.rsb {
+		b.rsb[i] = 0
+	}
+	b.top = 0
+}
+
+// Stats returns cumulative predictor statistics.
+func (b *BPU) Stats() (condLookups, condMispreds, retPredicts, rsbUnderflows uint64) {
+	return b.condLookups, b.condMispreds, b.retPredicts, b.rsbUnderflows
+}

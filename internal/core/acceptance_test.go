@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+// Paper-scale acceptance runs (§4.1 uses 1 KiB random payloads). Gated by
+// -short because they simulate hundreds of thousands of probes.
+
+func paperPayload(n int) []byte {
+	out := make([]byte, n)
+	x := uint32(0x1234567)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		out[i] = byte(x)
+	}
+	return out
+}
+
+func TestPaperScaleCovertChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale payload")
+	}
+	k := bootOn(t, cpu.I7_7700(), kernel.Config{KASLR: true}, 401)
+	cc, err := NewTETCovertChannel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := paperPayload(1024)
+	res, err := cc.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := stats.ByteErrorRate(res.Data, payload); er >= 0.05 {
+		t.Fatalf("TET-CC 1 KiB error rate %.3f, paper reports <5%%", er)
+	}
+}
+
+func TestPaperScaleRSB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale payload")
+	}
+	k := bootOn(t, cpu.I9_13900K(), kernel.Config{KASLR: true}, 402)
+	m := k.Machine()
+	payload := paperPayload(512)
+	secretVA := uint64(kernel.UserDataBase + 0x2800)
+	pa, ok := k.UserAS().Translate(secretVA)
+	if !ok {
+		t.Fatal("unmapped")
+	}
+	m.Phys.StoreBytes(pa, payload)
+	rsb, err := NewTETRSB(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rsb.Leak(secretVA, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := stats.ByteErrorRate(res.Data, payload); er >= 0.01 {
+		t.Fatalf("TET-RSB 512 B error rate %.4f, paper reports <0.1%%", er)
+	}
+}
+
+func TestPaperScaleMeltdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale payload")
+	}
+	k := bootOn(t, cpu.I7_7700(), kernel.Config{KASLR: true}, 403)
+	payload := paperPayload(128)
+	k.WriteSecret(payload)
+	md, err := NewTETMeltdown(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := md.Leak(k.SecretVA(), len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := stats.ByteErrorRate(res.Data, payload); er >= 0.03 {
+		t.Fatalf("TET-MD 128 B error rate %.3f, paper reports <3%%", er)
+	}
+}
+
+func TestKASLRAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for seed := int64(500); seed < 508; seed++ {
+		k := bootOn(t, cpu.I9_10980XE(), kernel.Config{KASLR: true, KPTI: true}, seed)
+		a, err := NewTETKASLR(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Reps = 4
+		res, err := a.Locate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Slot != k.BaseSlot() {
+			t.Errorf("seed %d: slot %d, want %d", seed, res.Slot, k.BaseSlot())
+		}
+	}
+}

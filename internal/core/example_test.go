@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+)
+
+// Leak a kernel secret with TET-Meltdown on a vulnerable part: the classic
+// three-line usage of the library.
+func ExampleMeltdown_Leak() {
+	machine := cpu.MustMachine(cpu.I7_7700(), 42)
+	k, err := kernel.Boot(machine, kernel.Config{KASLR: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k.WriteSecret([]byte("hunter2"))
+
+	md, err := core.NewTETMeltdown(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := md.Leak(k.SecretVA(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", res.Data)
+	// Output: hunter2
+}
+
+// Break KASLR on the Meltdown-resistant Comet Lake model.
+func ExampleKASLR_Locate() {
+	machine := cpu.MustMachine(cpu.I9_10980XE(), 42)
+	k, err := kernel.Boot(machine, kernel.Config{KASLR: true, KPTI: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack, err := core.NewTETKASLR(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attack.Reps = 4
+	res, err := attack.Locate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Base == k.KASLRBase())
+	// Output: true
+}
+
+// Move a message through the TET covert channel on a patched CPU — the
+// channel needs no hardware flaw at all.
+func ExampleCovertChannel_Transfer() {
+	machine := cpu.MustMachine(cpu.I9_13900K(), 42)
+	k, err := kernel.Boot(machine, kernel.Config{KASLR: true, KPTI: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, err := core.NewTETCovertChannel(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cc.Transfer([]byte("hi"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s\n", res.Data)
+	// Output: hi
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"whisper/internal/isa"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+// kaslrCodeBase isolates the KASLR gadget's code from the other gadgets.
+const kaslrCodeBase = kernel.UserCodeBase + 0x10000
+
+// KASLR is TET-KASLR (§4.5, Listing 2): mapping detection through the ToTE
+// of an illegal kernel access. On the Intel models, a permission-faulting
+// access to a *mapped* address fills the DTLB, so repeated probes translate
+// instantly, while unmapped addresses page-walk on every probe — a ToTE
+// difference the in-window Jcc amplifies. On the AMD model the TLB never
+// fills on a faulting access and the attack collapses (Table 2 ✗).
+type KASLR struct {
+	k    *kernel.Kernel
+	prog *isa.Program
+	// Reps is the number of eviction+probe rounds per candidate slot.
+	Reps int
+}
+
+// KASLRResult reports one KASLR break attempt.
+type KASLRResult struct {
+	Slot    int     // recovered slot index
+	Base    uint64  // recovered kernel base address
+	Cycles  uint64  // simulated cycles the scan consumed
+	Seconds float64 // at the model's clock
+}
+
+// NewTETKASLR assembles the Listing 2 probe gadget.
+func NewTETKASLR(k *kernel.Kernel) (*KASLR, error) {
+	if k == nil {
+		return nil, errNotBooted
+	}
+	m := k.Machine()
+	suppressTSX := m.Model.HasTSX
+	b := isa.NewBuilder(kaslrCodeBase)
+	b.Rdtsc(isa.RSI)
+	b.Mfence()
+	if suppressTSX {
+		b.Xbegin("abort")
+	}
+	// ---- Listing 2: illegal access + attacker-condition Jcc ----
+	b.LoadQ(isa.RAX, isa.RBX, 0) // illegal kernel access opens the window
+	b.Cmp(isa.R8, isa.RDX)       // attacker-controlled condition (test_num vs secret)
+	b.Jcc(isa.CondE, "taken")
+	b.Lfence()
+	b.Jmp("end")
+	b.Label("taken")
+	b.NopSled(gadgetSled)
+	b.Label("end")
+	if suppressTSX {
+		b.Xend()
+	}
+	b.Halt()
+	b.Label("abort")
+	b.Mfence()
+	b.Rdtsc(isa.RDI)
+	b.Halt()
+	prog, err := b.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble KASLR gadget: %w", err)
+	}
+	a := &KASLR{k: k, prog: prog, Reps: 16}
+	return a, nil
+}
+
+// probe measures one ToTE of an illegal access to target. The Jcc condition
+// is held not-taken: the mapping signal is the window length itself (TLB hit
+// vs page walk, amplified by the per-uop flush cost of everything the longer
+// window lets the frontend issue). On MDS-vulnerable parts a *triggered* Jcc
+// would cut the unmapped probe's abortable assist short and corrupt the
+// signal, so the sweep never triggers it.
+func (a *KASLR) probe(target uint64, rep int) (uint64, error) {
+	m := a.k.Machine()
+	p := m.Pipe
+	if !m.Model.HasTSX {
+		p.SetSignalHandler(a.prog.Len() - 3)
+		defer p.SetSignalHandler(-1)
+	}
+	_ = rep
+	p.SetReg(isa.RBX, target)
+	p.SetReg(isa.R8, 1)
+	p.SetReg(isa.RDX, 0)
+	for attempt := 0; attempt < 4; attempt++ {
+		if _, err := p.Exec(a.prog, maxProbeCycles); err != nil {
+			return 0, fmt.Errorf("core: TET-KASLR probe: %w", err)
+		}
+		if t1, t2 := p.Reg(isa.RSI), p.Reg(isa.RDI); t2 >= t1 {
+			return t2 - t1, nil
+		}
+	}
+	return 0, fmt.Errorf("core: TET-KASLR timer unusable after retries")
+}
+
+// slotTime returns the median probe time of candidate slot s under the
+// standard procedure: evict the TLB, let the first probe (re)establish
+// whatever the hardware caches for this address, then measure.
+func (a *KASLR) slotTime(s int) (uint64, error) {
+	target := a.k.ProbeTarget(s)
+	times := make([]uint64, 0, a.Reps)
+	for rep := 0; rep < a.Reps; rep++ {
+		a.k.EvictTLB()
+		if _, err := a.probe(target, rep); err != nil { // warm: fills TLB iff mapped
+			return 0, err
+		}
+		t, err := a.probe(target, rep+1)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, t)
+	}
+	return stats.MedianU64(times), nil
+}
+
+// slotTimeFLARE measures slot s under FLARE: every probe target is mapped,
+// so mapping detection per se is defeated. The bypass primitive: prime the
+// TLB with a probe, force a syscall round-trip (KPTI CR3 writes flush
+// non-global entries — FLARE dummies — while the global trampoline/image
+// entries survive), then measure. Without KPTI the same asymmetry is reached
+// by cycling only the 4 KiB DTLB partition, which spares the kernel image's
+// 2 MiB entries.
+func (a *KASLR) slotTimeFLARE(s int) (uint64, error) {
+	target := a.k.ProbeTarget(s)
+	times := make([]uint64, 0, a.Reps)
+	for rep := 0; rep < a.Reps; rep++ {
+		if _, err := a.probe(target, rep); err != nil { // prime the TLB entry
+			return 0, err
+		}
+		if a.k.Config().KPTI {
+			a.k.SyscallRoundTrip()
+		} else {
+			a.k.EvictDTLB4K()
+		}
+		a.k.EvictProbePTEs(s) // force any re-walk to DRAM
+		t, err := a.probe(target, rep+1)
+		if err != nil {
+			return 0, err
+		}
+		times = append(times, t)
+	}
+	return stats.MedianU64(times), nil
+}
+
+// Locate scans all 512 candidate slots and returns the recovered kernel
+// base: the first slot whose probe time falls on the mapped side of the
+// threshold between the fastest observation and the unmapped majority.
+func (a *KASLR) Locate() (KASLRResult, error) {
+	m := a.k.Machine()
+	start := m.Pipe.Cycle()
+	times := make([]uint64, kernel.NumSlots)
+	flare := a.k.Config().FLARE
+	for s := 0; s < kernel.NumSlots; s++ {
+		var t uint64
+		var err error
+		if flare {
+			t, err = a.slotTimeFLARE(s)
+		} else {
+			t, err = a.slotTime(s)
+		}
+		if err != nil {
+			return KASLRResult{}, err
+		}
+		times[s] = t
+	}
+	slot := firstMapped(times)
+	cycles := m.Pipe.Cycle() - start
+	res := KASLRResult{Slot: slot, Cycles: cycles, Seconds: m.Seconds(cycles)}
+	if slot >= 0 {
+		res.Base = kernel.SlotVA(slot)
+	}
+	return res, nil
+}
+
+// noSignalGap is the minimum separation (cycles) between the fastest slot
+// and the unmapped majority for the scan to count as a detection; anything
+// tighter is measurement noise (the defended/AMD cases).
+const noSignalGap = 15
+
+// firstMapped picks the first slot on the fast (mapped) side of a threshold
+// placed between the global minimum and the unmapped majority's median. It
+// returns -1 when the distribution carries no mapping signal.
+func firstMapped(times []uint64) int {
+	min := times[stats.Argmin(times)]
+	med := stats.MedianU64(times) // almost all slots are unmapped
+	if med-min < noSignalGap {
+		return -1
+	}
+	threshold := (min + med) / 2
+	for s, t := range times {
+		if t <= threshold {
+			return s
+		}
+	}
+	return stats.Argmin(times)
+}

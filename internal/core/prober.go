@@ -1,0 +1,256 @@
+// Package core implements the paper's contribution: the Whisper transient
+// execution timing (TET) side channel and the attacks built on it — the
+// TET covert channel, TET-Meltdown, TET-Zombieload, TET-Spectre-V5-RSB, and
+// TET-KASLR (plain, KPTI, FLARE, Docker). Gadgets are assembled for the
+// simulated core; every timing signal is an emergent property of the
+// pipeline model, not scripted.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"whisper/internal/cpu"
+	"whisper/internal/isa"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+// Sign is the direction of the TET signal: whether triggering the transient
+// Jcc makes the window longer or shorter.
+type Sign int
+
+// Signal directions. Meltdown-style permission faults serialise the machine
+// clear behind the recovery (longer); Zombieload's abortable assist and
+// Spectre-RSB's cheaper final squash end the window early (shorter).
+const (
+	SignLonger Sign = iota
+	SignShorter
+)
+
+// Suppression selects how the attacker survives the fault.
+type Suppression int
+
+// Suppression mechanisms (the paper's transient_begin, after [4]).
+const (
+	SuppressTSX Suppression = iota
+	SuppressSignal
+)
+
+// maxProbeCycles bounds one gadget execution; generous but finite.
+const maxProbeCycles = 500_000
+
+// Prober measures the ToTE of one TET gadget (Fig. 1a). The gadget is
+// parameterised by registers so the predictor sees a single branch PC across
+// the whole sweep, exactly like the C original:
+//
+//	RBX — transient load target (kernel VA, unmapped VA, ...)
+//	RDX — test value
+//	RCX — comparison source: RAX (the transiently loaded value) for
+//	      MD/ZBL-style probes, or a sender-controlled value for the CC.
+type Prober struct {
+	m        *cpu.Machine
+	prog     *isa.Program
+	suppress Suppression
+}
+
+// gadgetLayout records instruction indices the harness needs.
+const gadgetSled = 24
+
+// NewProber assembles the TET probe gadget. cmpLoaded selects whether the
+// Jcc compares the transiently loaded value (side-channel read) or two
+// attacker registers (covert-channel send). The suppression mechanism falls
+// back to signals when the model has no TSX.
+func NewProber(m *cpu.Machine, suppress Suppression, cmpLoaded bool) (*Prober, error) {
+	if suppress == SuppressTSX && !m.Model.HasTSX {
+		suppress = SuppressSignal
+	}
+	b := isa.NewBuilder(kernel.UserCodeBase)
+	b.Rdtsc(isa.RSI)
+	b.Lfence()
+	if suppress == SuppressTSX {
+		b.Xbegin("abort")
+	}
+	// ---- transient block (Fig. 1a lines 2-3) ----
+	b.LoadB(isa.RAX, isa.RBX, 0) // faulting load opens the window
+	if cmpLoaded {
+		b.Cmp(isa.RAX, isa.RDX)
+	} else {
+		b.Cmp(isa.RCX, isa.RDX)
+	}
+	b.Jcc(isa.CondE, "taken")
+	b.Lfence() // fall-through path stops issuing (Fig. 4, path ①)
+	b.Jmp("end")
+	b.Label("taken")
+	b.Nop() // the Fig. 1a gadget's "nop" arm; paths reconverge at the fence
+	b.Label("end")
+	if suppress == SuppressTSX {
+		b.Xend()
+	}
+	b.Halt() // never retires: the fault always rolls the block back
+	b.Label("abort")
+	b.Rdtsc(isa.RDI)
+	b.Halt()
+	prog, err := b.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble probe gadget: %w", err)
+	}
+	pr := &Prober{m: m, prog: prog, suppress: suppress}
+	return pr, nil
+}
+
+// abortIndex is the instruction index of the fault handler (the label
+// "abort"): the program's penultimate pair.
+func (pr *Prober) abortIndex() int { return pr.prog.Len() - 2 }
+
+// Probe runs the gadget and returns the measured ToTE in cycles. target is
+// the transient load address; test and cmp load the RDX/RCX registers. A
+// sample whose timer pair is inverted (an interrupt spiked the first read)
+// is discarded and re-measured, as a real attacker would.
+func (pr *Prober) Probe(target uint64, test, cmp uint64) (uint64, error) {
+	p := pr.m.Pipe
+	if pr.suppress == SuppressSignal {
+		p.SetSignalHandler(pr.abortIndex())
+		defer p.SetSignalHandler(-1)
+	}
+	p.SetReg(isa.RBX, target)
+	p.SetReg(isa.RDX, test)
+	p.SetReg(isa.RCX, cmp)
+	for attempt := 0; attempt < 4; attempt++ {
+		if _, err := p.Exec(pr.prog, maxProbeCycles); err != nil {
+			return 0, fmt.Errorf("core: probe: %w", err)
+		}
+		t1, t2 := p.Reg(isa.RSI), p.Reg(isa.RDI)
+		if t2 >= t1 {
+			return t2 - t1, nil
+		}
+	}
+	return 0, errors.New("core: probe timer unusable after retries")
+}
+
+// SweepByte performs the paper's §4.3.1 decoding: traverse test values
+// 0..255 in batches, per batch vote for the extreme-ToTE value, and return
+// the argmax of the votes. sign selects max- or min-extreme. prep, when
+// non-nil, runs before every probe (victim refresh, eviction, ...).
+func (pr *Prober) SweepByte(target uint64, batches int, sign Sign, prep func()) (byte, error) {
+	if batches <= 0 {
+		return 0, errors.New("core: batches must be positive")
+	}
+	// Warm the gadget's icache/DSB/predictor state with never-matching
+	// probes (256 cannot equal a loaded byte) so cold-start timings do not
+	// pollute the first batch's extreme.
+	for i := 0; i < 16; i++ {
+		if prep != nil {
+			prep()
+		}
+		if _, err := pr.Probe(target, 256, 0); err != nil {
+			return 0, err
+		}
+	}
+	votes := make([]int, 256)
+	totes := make([]uint64, 256)
+	for batch := 0; batch < batches; batch++ {
+		for tv := 0; tv < 256; tv++ {
+			if prep != nil {
+				prep()
+			}
+			tote, err := pr.Probe(target, uint64(tv), 0)
+			if err != nil {
+				return 0, err
+			}
+			totes[tv] = tote
+		}
+		var pick int
+		if sign == SignLonger {
+			pick = stats.Argmax(totes)
+		} else {
+			pick = stats.Argmin(totes)
+		}
+		votes[pick]++
+	}
+	return byte(stats.ArgmaxInt(votes)), nil
+}
+
+// SweepByteMedian is SweepByte with a per-value median decoder. The paper's
+// per-batch argmax vote needs the signal to exceed the largest of 256 noise
+// draws within a single batch, which dies once jitter rivals the few-cycle
+// signal; taking the extreme of per-value *medians* suppresses jitter by
+// ~1/sqrt(batches) while staying immune to the heavy-tailed interrupt
+// spikes that break a plain mean (see the NoiseSweep experiment).
+func (pr *Prober) SweepByteMedian(target uint64, batches int, sign Sign, prep func()) (byte, error) {
+	if batches <= 0 {
+		return 0, errors.New("core: batches must be positive")
+	}
+	for i := 0; i < 16; i++ {
+		if prep != nil {
+			prep()
+		}
+		if _, err := pr.Probe(target, 256, 0); err != nil {
+			return 0, err
+		}
+	}
+	samples := make([][]uint64, 256)
+	for batch := 0; batch < batches; batch++ {
+		for tv := 0; tv < 256; tv++ {
+			if prep != nil {
+				prep()
+			}
+			tote, err := pr.Probe(target, uint64(tv), 0)
+			if err != nil {
+				return 0, err
+			}
+			samples[tv] = append(samples[tv], tote)
+		}
+	}
+	medians := make([]uint64, 256)
+	for tv := range samples {
+		medians[tv] = stats.MedianU64(samples[tv])
+	}
+	if sign == SignLonger {
+		return byte(stats.Argmax(medians)), nil
+	}
+	return byte(stats.Argmin(medians)), nil
+}
+
+// ProbeStable measures one trigger/no-trigger probe after two de-training
+// probes that hold the gadget's branch at predicted-not-taken. Without the
+// resets, a run of identical symbols would train the PHT and erase the
+// misprediction the channel is made of.
+func (pr *Prober) ProbeStable(target uint64, trigger bool) (uint64, error) {
+	for i := 0; i < 2; i++ {
+		if _, err := pr.Probe(target, 1, 0); err != nil {
+			return 0, err
+		}
+	}
+	cmp := uint64(0)
+	if trigger {
+		cmp = 1
+	}
+	return pr.Probe(target, 1, cmp)
+}
+
+// Calibrate measures the ToTE distribution of triggered vs untriggered
+// probes (the covert channel's training preamble) and returns a decision
+// threshold plus the measured polarity.
+func (pr *Prober) Calibrate(target uint64, reps int) (threshold uint64, oneIsLonger bool, err error) {
+	ones := make([]uint64, 0, reps)
+	zeros := make([]uint64, 0, reps)
+	for i := 0; i < reps; i++ {
+		t1, err := pr.ProbeStable(target, true)
+		if err != nil {
+			return 0, false, err
+		}
+		t0, err := pr.ProbeStable(target, false)
+		if err != nil {
+			return 0, false, err
+		}
+		ones = append(ones, t1)
+		zeros = append(zeros, t0)
+	}
+	m1 := stats.MedianU64(ones)
+	m0 := stats.MedianU64(zeros)
+	if m1 == m0 {
+		return 0, false, errors.New("core: calibration found no TET signal")
+	}
+	return (m1 + m0) / 2, m1 > m0, nil
+}

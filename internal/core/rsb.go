@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"whisper/internal/cpu"
+	"whisper/internal/isa"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+// rsbCodeBase keeps the RSB gadget's code away from the probe gadget so the
+// two do not alias in the DSB/PHT.
+const rsbCodeBase = kernel.UserCodeBase + 0x8000
+
+// RSB is TET-Spectre-V5-RSB (§4.3.3, Listing 1): a call/ret pair whose
+// return address is overwritten and flushed, so the ret speculates through
+// the stale RSB entry into a gadget that reads an architecturally
+// unreachable in-process secret. The secret is decoded from the ToTE: a
+// triggering Jcc inside the speculated path squashes the wrong-path work
+// early, so the final recovery is cheaper and the whole window *shorter*
+// (argmin decode). No fault is involved, hence no suppression is needed and
+// the probe rate is far higher than TET-MD's.
+type RSB struct {
+	m       *cpu.Machine
+	prog    *isa.Program
+	Batches int
+}
+
+// NewTETRSB assembles the Listing 1 gadget.
+func NewTETRSB(k *kernel.Kernel) (*RSB, error) {
+	if k == nil {
+		return nil, errNotBooted
+	}
+	b := isa.NewBuilder(rsbCodeBase)
+	b.MovImm(isa.RSP, kernel.UserStackBase+0x800)
+	b.Rdtsc(isa.RSI)
+	b.Lfence()
+	b.Call("fn")
+	// --- speculative return path (Listing 1 lines 5-6) ---
+	b.LoadB(isa.RAX, isa.R9, 0) // R9 = secret VA (sandboxed in-process data)
+	b.Cmp(isa.RAX, isa.RDX)
+	b.Jcc(isa.CondE, "taken")
+	b.NopSled(gadgetSled) // fall-through keeps issuing wrong-path work
+	b.Jmp("specEnd")
+	b.Label("taken")
+	b.Lfence() // trigger path stalls issue: cheap final squash
+	b.Label("specEnd")
+	b.Lfence()
+	// --- called function: overwrite + flush the return address (lines 8-11) ---
+	b.Label("fn")
+	b.MovImm(isa.RAX, 0) // patched below once the landing VA is known
+	landingFix := b.Pos() - 1
+	b.StoreQ(isa.RSP, 0, isa.RAX)
+	b.Clflush(isa.RSP, 0)
+	b.Ret() // RSB predicts the line after the call; memory says "landing"
+	landingIdx := b.Pos()
+	b.Label("landing")
+	b.Lfence()
+	b.Rdtsc(isa.RDI)
+	b.Halt()
+	prog, err := b.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble RSB gadget: %w", err)
+	}
+	prog.Insts[landingFix].Imm = int64(prog.VA(landingIdx))
+	return &RSB{m: k.Machine(), prog: prog, Batches: 1}, nil
+}
+
+// probe runs the gadget once with the given test value and secret address,
+// returning the ToTE.
+func (a *RSB) probe(secretVA uint64, test uint64) (uint64, error) {
+	p := a.m.Pipe
+	p.SetReg(isa.R9, secretVA)
+	p.SetReg(isa.RDX, test)
+	for attempt := 0; attempt < 4; attempt++ {
+		if _, err := p.Exec(a.prog, maxProbeCycles); err != nil {
+			return 0, fmt.Errorf("core: TET-RSB probe: %w", err)
+		}
+		if t1, t2 := p.Reg(isa.RSI), p.Reg(isa.RDI); t2 >= t1 {
+			return t2 - t1, nil
+		}
+	}
+	return 0, fmt.Errorf("core: TET-RSB timer unusable after retries")
+}
+
+// LeakByte recovers the in-process secret byte at secretVA via the Listing 1
+// running-extreme scan. A short warm-up with a never-matching test value
+// (256 cannot equal a byte) stabilises the icache/DSB/predictor state so
+// cold-start probes do not pollute the argmin.
+func (a *RSB) LeakByte(secretVA uint64) (byte, error) {
+	for i := 0; i < 24; i++ {
+		if _, err := a.probe(secretVA, 256); err != nil {
+			return 0, err
+		}
+	}
+	votes := make([]int, 256)
+	totes := make([]uint64, 256)
+	for batch := 0; batch < a.Batches; batch++ {
+		for tv := 0; tv < 256; tv++ {
+			t, err := a.probe(secretVA, uint64(tv))
+			if err != nil {
+				return 0, err
+			}
+			totes[tv] = t
+		}
+		votes[stats.Argmin(totes)]++
+	}
+	return byte(stats.ArgmaxInt(votes)), nil
+}
+
+// Leak recovers n bytes of the in-process secret starting at secretVA.
+func (a *RSB) Leak(secretVA uint64, n int) (LeakResult, error) {
+	start := a.m.Pipe.Cycle()
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, err := a.LeakByte(secretVA + uint64(i))
+		if err != nil {
+			return LeakResult{}, fmt.Errorf("core: TET-RSB byte %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	cycles := a.m.Pipe.Cycle() - start
+	return LeakResult{Data: out, Cycles: cycles, Bps: a.m.Bps(n, cycles)}, nil
+}

@@ -1,0 +1,220 @@
+// Package cpu defines the CPU models evaluated in the paper's Table 2 and
+// assembles them into runnable machines: one pipeline plus its private
+// caches, TLBs, predictors, PMU, and physical memory.
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whisper/internal/bpu"
+	"whisper/internal/mem"
+	"whisper/internal/paging"
+	"whisper/internal/pipeline"
+	"whisper/internal/pmu"
+	"whisper/internal/tlb"
+)
+
+// Model is one CPU configuration from Table 2.
+type Model struct {
+	Name      string
+	Microarch string
+	Microcode string
+	Kernel    string // Linux kernel version used in the paper's testbed
+	Vendor    pmu.Vendor
+	ClockHz   float64
+	HasTSX    bool
+
+	Pipe pipeline.Config
+	Hier mem.HierarchyConfig
+	DTLB tlb.Config
+	ITLB tlb.Config
+	BPU  bpu.Config
+}
+
+func base() Model {
+	return Model{
+		Vendor: pmu.Intel,
+		Pipe:   pipeline.DefaultConfig(),
+		Hier:   mem.DefaultHierarchyConfig(),
+		DTLB:   tlb.DefaultDTLBConfig(),
+		ITLB:   tlb.DefaultITLBConfig(),
+		BPU:    bpu.DefaultConfig(),
+	}
+}
+
+// I7_6700 returns the Skylake Core i7-6700 model: vulnerable to everything.
+func I7_6700() Model {
+	m := base()
+	m.Name = "Intel Core i7-6700"
+	m.Microarch = "Skylake"
+	m.Microcode = "0xf0"
+	m.Kernel = "4.15.0-213"
+	m.ClockHz = 3.4e9
+	m.HasTSX = true
+	return m
+}
+
+// I7_7700 returns the Kaby Lake Core i7-7700 model: vulnerable to
+// everything; the paper's main throughput testbed.
+func I7_7700() Model {
+	m := base()
+	m.Name = "Intel Core i7-7700"
+	m.Microarch = "Kaby Lake"
+	m.Microcode = "0x5e"
+	m.Kernel = "5.4.0-150"
+	m.ClockHz = 3.6e9
+	m.HasTSX = true
+	return m
+}
+
+// I9_10980XE returns the Comet Lake Core i9-10980XE model: Meltdown- and
+// MDS-resistant microcode, but the TLB still fills on faulting access, so
+// TET-KASLR works (the paper's KASLR testbed).
+func I9_10980XE() Model {
+	m := base()
+	m.Name = "Intel Core i9-10980XE"
+	m.Microarch = "Comet Lake"
+	m.Microcode = "0x5003303"
+	m.Kernel = "5.15.0-72"
+	m.ClockHz = 3.0e9
+	m.HasTSX = true
+	m.Pipe.MeltdownVulnerable = false
+	m.Pipe.MDSVulnerable = false
+	m.Pipe.ROBSize = 224
+	return m
+}
+
+// I9_13900K returns the Raptor Lake Core i9-13900K model: Meltdown/MDS
+// fixed, wider core, no TSX (removed from client parts); TET-RSB's testbed.
+func I9_13900K() Model {
+	m := base()
+	m.Name = "Intel Core i9-13900K"
+	m.Microarch = "Raptor Lake"
+	m.Microcode = "0x119"
+	m.Kernel = "5.15.0-86"
+	m.ClockHz = 5.8e9
+	m.HasTSX = false
+	m.Pipe.MeltdownVulnerable = false
+	m.Pipe.MDSVulnerable = false
+	m.Pipe.FetchWidth = 8
+	m.Pipe.IssueWidth = 6
+	m.Pipe.RetireWidth = 8
+	m.Pipe.ROBSize = 512
+	m.Pipe.RSSize = 200
+	m.Pipe.ALUPorts = 5
+	m.Pipe.LoadPorts = 3
+	return m
+}
+
+// Ryzen5600G returns the Zen 3 Ryzen 5 5600G model: no Meltdown/MDS, and —
+// decisive for TET-KASLR — the TLB is only filled when the permission check
+// passes.
+func Ryzen5600G() Model {
+	m := base()
+	m.Name = "AMD Ryzen 5 5600G"
+	m.Microarch = "Zen 3"
+	m.Microcode = "0xA50000D"
+	m.Kernel = "5.15.0-76"
+	m.Vendor = pmu.AMD
+	m.ClockHz = 3.9e9
+	m.HasTSX = false
+	m.Pipe.MeltdownVulnerable = false
+	m.Pipe.MDSVulnerable = false
+	m.Pipe.TLBFillOnFault = false
+	m.Pipe.ROBSize = 256
+	m.Pipe.IssueWidth = 6
+	return m
+}
+
+// Ryzen5900 returns the second Zen 3 part of Table 2's AMD row ("Ryzen 5
+// 5600G & 5900"): identical microarchitectural structure, higher clock and
+// a bigger LLC.
+func Ryzen5900() Model {
+	m := Ryzen5600G()
+	m.Name = "AMD Ryzen 9 5900"
+	m.ClockHz = 4.7e9
+	m.Hier.L3Size = 64 << 20
+	return m
+}
+
+// AllModels returns every Table 2 model, in the table's order. The AMD row
+// lists two parts; Ryzen5600G represents it (Ryzen5900 behaves identically
+// modulo clock/LLC, which TestZen3PartsAgree verifies).
+func AllModels() []Model {
+	return []Model{I7_6700(), I7_7700(), I9_10980XE(), I9_13900K(), Ryzen5600G()}
+}
+
+// Machine is a runnable instance of a Model: the pipeline plus all shared
+// microarchitectural structures and physical memory.
+type Machine struct {
+	Model Model
+	Pipe  *pipeline.Pipeline
+	Phys  *mem.Physical
+	Hier  *mem.Hierarchy
+	LFB   *mem.LFB
+	DTLB  *tlb.TLB
+	ITLB  *tlb.TLB
+	BPU   *bpu.BPU
+	PMU   *pmu.PMU
+	Alloc *paging.FrameAllocator
+	Rand  *rand.Rand
+}
+
+// NewMachine builds a machine for the model with a deterministic seed. The
+// returned machine runs with an initial bare address space; kernel.Boot
+// installs the OS view.
+func NewMachine(m Model, seed int64) (*Machine, error) {
+	phys := mem.NewPhysical()
+	alloc := paging.NewFrameAllocator(0x100000)
+	as := paging.NewAddressSpace(phys, alloc)
+	mc := &Machine{
+		Model: m,
+		Phys:  phys,
+		Hier:  mem.NewHierarchy(phys, m.Hier),
+		LFB:   mem.NewLFB(10),
+		DTLB:  tlb.New("DTLB", m.DTLB),
+		ITLB:  tlb.New("ITLB", m.ITLB),
+		BPU:   bpu.New(m.BPU),
+		PMU:   pmu.New(),
+		Alloc: alloc,
+		Rand:  rand.New(rand.NewSource(seed)),
+	}
+	p, err := pipeline.New(m.Pipe, pipeline.Resources{
+		Hier: mc.Hier,
+		LFB:  mc.LFB,
+		AS:   as,
+		DTLB: mc.DTLB,
+		ITLB: mc.ITLB,
+		BPU:  mc.BPU,
+		PMU:  mc.PMU,
+		Rand: mc.Rand,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
+	}
+	mc.Pipe = p
+	return mc, nil
+}
+
+// MustMachine is NewMachine that panics on error (model tables are static).
+func MustMachine(m Model, seed int64) *Machine {
+	mc, err := NewMachine(m, seed)
+	if err != nil {
+		panic(err)
+	}
+	return mc
+}
+
+// Seconds converts a cycle count to seconds at the model's clock.
+func (mc *Machine) Seconds(cycles uint64) float64 {
+	return float64(cycles) / mc.Model.ClockHz
+}
+
+// Bps converts bytes transferred in a cycle span to bytes/second.
+func (mc *Machine) Bps(bytes int, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(bytes) / mc.Seconds(cycles)
+}

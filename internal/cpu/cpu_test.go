@@ -1,0 +1,127 @@
+package cpu
+
+import (
+	"testing"
+
+	"whisper/internal/isa"
+	"whisper/internal/paging"
+	"whisper/internal/pmu"
+)
+
+func TestAllModelsWellFormed(t *testing.T) {
+	models := AllModels()
+	if len(models) != 5 {
+		t.Fatalf("models = %d, want the 5 Table 2 parts", len(models))
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if m.Name == "" || m.Microarch == "" || m.Microcode == "" || m.Kernel == "" {
+			t.Errorf("model %q missing metadata", m.Name)
+		}
+		if m.ClockHz < 1e9 || m.ClockHz > 10e9 {
+			t.Errorf("model %q clock %v implausible", m.Name, m.ClockHz)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+}
+
+func TestVulnerabilityMatrix(t *testing.T) {
+	cases := []struct {
+		m        Model
+		meltdown bool
+		mds      bool
+		tlbFill  bool
+	}{
+		{I7_6700(), true, true, true},
+		{I7_7700(), true, true, true},
+		{I9_10980XE(), false, false, true},
+		{I9_13900K(), false, false, true},
+		{Ryzen5600G(), false, false, false},
+	}
+	for _, c := range cases {
+		if c.m.Pipe.MeltdownVulnerable != c.meltdown {
+			t.Errorf("%s meltdown = %v", c.m.Name, c.m.Pipe.MeltdownVulnerable)
+		}
+		if c.m.Pipe.MDSVulnerable != c.mds {
+			t.Errorf("%s mds = %v", c.m.Name, c.m.Pipe.MDSVulnerable)
+		}
+		if c.m.Pipe.TLBFillOnFault != c.tlbFill {
+			t.Errorf("%s tlbFill = %v", c.m.Name, c.m.Pipe.TLBFillOnFault)
+		}
+	}
+	if Ryzen5600G().Vendor != pmu.AMD {
+		t.Error("Ryzen vendor not AMD")
+	}
+}
+
+func TestMachineRunsProgram(t *testing.T) {
+	for _, model := range AllModels() {
+		mc := MustMachine(model, 42)
+		// Map a code page in the machine's initial address space.
+		if _, err := mc.Pipe.AddressSpace().MapRange(0x400000, 1, paging.FlagU); err != nil {
+			t.Fatal(err)
+		}
+		p := isa.NewBuilder(0x400000).
+			MovImm(isa.RAX, 21).
+			AddImm(isa.RAX, isa.RAX, 21).
+			Halt().
+			MustAssemble()
+		if _, err := mc.Pipe.Exec(p, 100000); err != nil {
+			t.Fatalf("%s: %v", model.Name, err)
+		}
+		if got := mc.Pipe.Reg(isa.RAX); got != 42 {
+			t.Fatalf("%s: rax = %d", model.Name, got)
+		}
+	}
+}
+
+func TestMachineDeterminism(t *testing.T) {
+	run := func() uint64 {
+		mc := MustMachine(I7_7700(), 7)
+		if _, err := mc.Pipe.AddressSpace().MapRange(0x400000, 1, paging.FlagU); err != nil {
+			t.Fatal(err)
+		}
+		p := isa.NewBuilder(0x400000).
+			Rdtsc(isa.RAX).
+			NopSled(30).
+			Rdtsc(isa.RBX).
+			Halt().
+			MustAssemble()
+		if _, err := mc.Pipe.Exec(p, 100000); err != nil {
+			t.Fatal(err)
+		}
+		return mc.Pipe.Reg(isa.RBX) - mc.Pipe.Reg(isa.RAX)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different timing: %d vs %d", a, b)
+	}
+}
+
+func TestSecondsAndBps(t *testing.T) {
+	mc := MustMachine(I7_7700(), 1) // 3.6 GHz
+	if s := mc.Seconds(3_600_000_000); s != 1.0 {
+		t.Errorf("Seconds = %v", s)
+	}
+	if bps := mc.Bps(500, 3_600_000_000); bps != 500 {
+		t.Errorf("Bps = %v", bps)
+	}
+	if bps := mc.Bps(500, 0); bps != 0 {
+		t.Errorf("zero-cycle Bps = %v", bps)
+	}
+}
+
+func TestZen3PartsAgree(t *testing.T) {
+	a, b := Ryzen5600G(), Ryzen5900()
+	if a.Pipe != b.Pipe {
+		t.Fatal("Zen 3 parts differ in pipeline config")
+	}
+	if b.ClockHz <= a.ClockHz {
+		t.Fatal("5900 should clock higher")
+	}
+	if b.Vendor != a.Vendor {
+		t.Fatal("vendor mismatch")
+	}
+}

@@ -1,0 +1,65 @@
+// Package defense implements the detection-side of the paper's security
+// discussion: an HPC-based cache-attack detector in the style the paper
+// cites ([15], Li & Gaudiot) that watches for Flush+Reload probing patterns.
+// Table 1 / §3.3 argue that TET attacks are stateless and therefore invisible
+// to exactly this class of monitor; the Stealth experiment demonstrates it.
+package defense
+
+import "whisper/internal/pmu"
+
+// CacheAnomalyDetector samples PMU windows and flags Flush+Reload-style
+// probing: an abnormal rate of retired loads missing the whole cache
+// hierarchy (the reload scans) combined with ongoing speculation activity.
+type CacheAnomalyDetector struct {
+	pm   *pmu.PMU
+	prev pmu.Counts
+
+	// MissRateThreshold is the retired-L3-miss per retired-instruction rate
+	// above which a window is flagged (Flush+Reload reload scans run near
+	// one miss per handful of instructions; benign code sits orders of
+	// magnitude lower).
+	MissRateThreshold float64
+
+	windows int
+	alarms  int
+}
+
+// NewCacheAnomalyDetector arms a detector over a machine's PMU.
+func NewCacheAnomalyDetector(pm *pmu.PMU) *CacheAnomalyDetector {
+	return &CacheAnomalyDetector{
+		pm:                pm,
+		prev:              pm.Snapshot(),
+		MissRateThreshold: 0.02,
+	}
+}
+
+// Sample closes the current observation window and reports whether it was
+// flagged.
+func (d *CacheAnomalyDetector) Sample() bool {
+	now := d.pm.Snapshot()
+	delta := now.Delta(d.prev)
+	d.prev = now
+	d.windows++
+
+	insts := delta.Get(pmu.InstRetired)
+	if insts == 0 {
+		return false
+	}
+	missRate := float64(delta.Get(pmu.MemLoadRetiredL3Miss)) / float64(insts)
+	if missRate > d.MissRateThreshold {
+		d.alarms++
+		return true
+	}
+	return false
+}
+
+// AlarmRate returns the fraction of flagged windows.
+func (d *CacheAnomalyDetector) AlarmRate() float64 {
+	if d.windows == 0 {
+		return 0
+	}
+	return float64(d.alarms) / float64(d.windows)
+}
+
+// Windows returns the number of closed observation windows.
+func (d *CacheAnomalyDetector) Windows() int { return d.windows }

@@ -1,0 +1,60 @@
+package defense
+
+import (
+	"testing"
+
+	"whisper/internal/pmu"
+)
+
+func TestDetectorFlagsHighMissRate(t *testing.T) {
+	pm := pmu.New()
+	d := NewCacheAnomalyDetector(pm)
+	// Benign window: many instructions, few misses.
+	pm.Add(pmu.InstRetired, 10_000)
+	pm.Add(pmu.MemLoadRetiredL3Miss, 5)
+	if d.Sample() {
+		t.Fatal("benign window flagged")
+	}
+	// Flush+Reload window: one miss per few instructions.
+	pm.Add(pmu.InstRetired, 2_000)
+	pm.Add(pmu.MemLoadRetiredL3Miss, 250)
+	if !d.Sample() {
+		t.Fatal("probing window not flagged")
+	}
+	if d.Windows() != 2 {
+		t.Fatalf("windows = %d", d.Windows())
+	}
+	if r := d.AlarmRate(); r != 0.5 {
+		t.Fatalf("alarm rate = %v", r)
+	}
+}
+
+func TestDetectorEmptyWindow(t *testing.T) {
+	pm := pmu.New()
+	d := NewCacheAnomalyDetector(pm)
+	if d.Sample() {
+		t.Fatal("empty window flagged")
+	}
+	if d.AlarmRate() != 0 {
+		t.Fatal("alarm rate non-zero")
+	}
+}
+
+func TestDetectorWindowsAreDeltas(t *testing.T) {
+	pm := pmu.New()
+	// Pre-existing counts must not leak into the first window.
+	pm.Add(pmu.InstRetired, 100)
+	pm.Add(pmu.MemLoadRetiredL3Miss, 90)
+	d := NewCacheAnomalyDetector(pm)
+	pm.Add(pmu.InstRetired, 10_000)
+	if d.Sample() {
+		t.Fatal("pre-arm counts contaminated the window")
+	}
+}
+
+func TestZeroWindowAlarmRate(t *testing.T) {
+	d := NewCacheAnomalyDetector(pmu.New())
+	if d.AlarmRate() != 0 {
+		t.Fatal("no-window alarm rate non-zero")
+	}
+}

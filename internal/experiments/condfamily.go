@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/isa"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+// CondRow is one conditional-jump flavour's TET signal (§5: "at least 3
+// types of Jcc instructions can be used ... we believe that all the
+// conditional jump instructions of x86 chips could be exploited").
+type CondRow struct {
+	Cond      isa.Cond
+	Name      string
+	QuietToTE uint64
+	TrigToTE  uint64
+	Delta     int64
+}
+
+// condOperands returns RCX/RDX pairs that make the condition evaluate taken
+// (trigger) and not-taken (quiet) after `cmp rcx, rdx`.
+func condOperands(c isa.Cond) (trigCx, trigDx, quietCx, quietDx uint64, ok bool) {
+	switch c {
+	case isa.CondE: // ZF=1
+		return 5, 5, 5, 6, true
+	case isa.CondNE:
+		return 5, 6, 5, 5, true
+	case isa.CondC: // CF=1: rcx < rdx
+		return 3, 9, 9, 3, true
+	case isa.CondNC:
+		return 9, 3, 3, 9, true
+	case isa.CondS: // SF=1: negative difference
+		return 3, 9, 9, 3, true
+	case isa.CondNS:
+		return 9, 3, 3, 9, true
+	case isa.CondLE: // ZF=1 or SF!=OF
+		return 3, 9, 9, 3, true
+	case isa.CondG:
+		return 9, 3, 3, 9, true
+	}
+	return 0, 0, 0, 0, false
+}
+
+var condNames = map[isa.Cond]string{
+	isa.CondE:  "JE/JZ",
+	isa.CondNE: "JNE/JNZ",
+	isa.CondC:  "JC/JB",
+	isa.CondNC: "JNC/JAE",
+	isa.CondS:  "JS",
+	isa.CondNS: "JNS",
+	isa.CondLE: "JLE",
+	isa.CondG:  "JG",
+}
+
+// CondFamily measures the TET signal for every conditional-jump flavour the
+// ISA implements, on the i7-7700. The paper verifies JE/JZ, JNE/JNZ and JC;
+// this sweep covers the whole family.
+func CondFamily(seed int64) ([]CondRow, error) {
+	var rows []CondRow
+	for c := isa.CondE; c <= isa.CondG; c++ {
+		trigCx, trigDx, quietCx, quietDx, ok := condOperands(c)
+		if !ok {
+			continue
+		}
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := condGadget(c)
+		if err != nil {
+			return nil, err
+		}
+		p := k.Machine().Pipe
+		probe := func(cx, dx uint64) (uint64, error) {
+			p.SetReg(isa.RBX, core.UnmappedVA)
+			p.SetReg(isa.RCX, cx)
+			p.SetReg(isa.RDX, dx)
+			for attempt := 0; attempt < 4; attempt++ {
+				if _, err := p.Exec(prog, 500_000); err != nil {
+					return 0, err
+				}
+				if t1, t2 := p.Reg(isa.RSI), p.Reg(isa.RDI); t2 >= t1 {
+					return t2 - t1, nil
+				}
+			}
+			return 0, fmt.Errorf("condfamily: timer unusable")
+		}
+		measure := func(cx, dx uint64) (uint64, error) {
+			// De-train with quiet probes, then measure; median of 9.
+			var samples []uint64
+			for i := 0; i < 9; i++ {
+				for j := 0; j < 2; j++ {
+					if _, err := probe(quietCx, quietDx); err != nil {
+						return 0, err
+					}
+				}
+				t, err := probe(cx, dx)
+				if err != nil {
+					return 0, err
+				}
+				samples = append(samples, t)
+			}
+			return stats.MedianU64(samples), nil
+		}
+		// Warm up.
+		for i := 0; i < 12; i++ {
+			if _, err := probe(quietCx, quietDx); err != nil {
+				return nil, err
+			}
+		}
+		quiet, err := measure(quietCx, quietDx)
+		if err != nil {
+			return nil, err
+		}
+		trig, err := measure(trigCx, trigDx)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CondRow{
+			Cond:      c,
+			Name:      condNames[c],
+			QuietToTE: quiet,
+			TrigToTE:  trig,
+			Delta:     int64(trig) - int64(quiet),
+		})
+	}
+	return rows, nil
+}
+
+// condGadget is the Fig. 1a gadget with a parameterised condition code.
+func condGadget(c isa.Cond) (*isa.Program, error) {
+	b := isa.NewBuilder(kernel.UserCodeBase + 0x38000)
+	b.Rdtsc(isa.RSI)
+	b.Lfence()
+	b.Xbegin("abort")
+	b.LoadB(isa.RAX, isa.RBX, 0)
+	b.Cmp(isa.RCX, isa.RDX)
+	b.Jcc(c, "taken")
+	b.Lfence()
+	b.Jmp("end")
+	b.Label("taken")
+	b.Nop()
+	b.Label("end")
+	b.Xend()
+	b.Halt()
+	b.Label("abort")
+	b.Rdtsc(isa.RDI)
+	b.Halt()
+	return b.Assemble()
+}
+
+// RenderCondFamily formats the sweep.
+func RenderCondFamily(rows []CondRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "§5: TET signal across the conditional-jump family (i7-7700)")
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s\n", "Jcc", "quiet ToTE", "trig ToTE", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %12d %+8d\n", r.Name, r.QuietToTE, r.TrigToTE, r.Delta)
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/isa"
+	"whisper/internal/kernel"
+	"whisper/internal/pmu"
+	"whisper/internal/stats"
+)
+
+// Fig1bResult reproduces Figure 1b: the ToTE frequency data for a sweep of
+// test values over a transient block whose Jcc triggers at the secret value.
+type Fig1bResult struct {
+	Secret      byte
+	Samples     [256][]uint64 `json:"-"` // ToTE samples per test value
+	ArgmaxVotes [256]int      // per-batch argmax votes
+	Decoded     byte
+}
+
+// Fig1b runs the Figure 1b experiment on the i7-7700.
+func Fig1b(batches int, seed int64) (*Fig1bResult, error) {
+	k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+	if err != nil {
+		return nil, err
+	}
+	const secret = 'S'
+	k.WriteSecret([]byte{secret})
+	pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig1bResult{Secret: secret}
+	// Warm up.
+	for i := 0; i < 16; i++ {
+		if _, err := pr.Probe(k.SecretVA(), 256, 0); err != nil {
+			return nil, err
+		}
+	}
+	totes := make([]uint64, 256)
+	for batch := 0; batch < batches; batch++ {
+		for tv := 0; tv < 256; tv++ {
+			t, err := pr.Probe(k.SecretVA(), uint64(tv), 0)
+			if err != nil {
+				return nil, err
+			}
+			totes[tv] = t
+			res.Samples[tv] = append(res.Samples[tv], t)
+		}
+		res.ArgmaxVotes[stats.Argmax(totes)]++
+	}
+	votes := res.ArgmaxVotes[:]
+	res.Decoded = byte(stats.ArgmaxInt(votes))
+	return res, nil
+}
+
+// Render formats the frequency plot region around the secret plus the
+// argmax votes (the two panels of Fig. 1b).
+func (r *Fig1bResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1b: ToTE by test value (secret = %q, decoded = %q)\n",
+		r.Secret, r.Decoded)
+	fmt.Fprintf(&b, "%8s %10s %10s\n", "value", "medianToTE", "votes")
+	lo, hi := int(r.Secret)-4, int(r.Secret)+4
+	for tv := lo; tv <= hi; tv++ {
+		med := stats.MedianU64(r.Samples[tv])
+		marker := ""
+		if byte(tv) == r.Secret {
+			marker = "  <-- secret (red box)"
+		}
+		fmt.Fprintf(&b, "%8d %10d %10d%s\n", tv, med, r.ArgmaxVotes[tv], marker)
+	}
+	return b.String()
+}
+
+// Fig3 reproduces Figure 3's frontend-resteer evidence: the DSB→MITE
+// delivery shift and resteer cycles when the transient Jcc triggers; it is
+// the i7-7700 TET-CC scene of Table 3.
+func Fig3(seed int64) (Table3Scene, error) {
+	return sceneCC(cpu.I7_7700(), seed, []KeyEvent{
+		{Event: "IDQ.DSB_UOPS", PaperA: 119, PaperB: 115, WantDir: -1},
+		{Event: "IDQ.MS_MITE_UOPS", PaperA: 77, PaperB: 97, WantDir: 1},
+		{Event: "INT_MISC.CLEAR_RESTEER_CYCLES", PaperA: 27, PaperB: 39, WantDir: 1},
+	})
+}
+
+// Fig4Point is one fence-distance configuration of the §5.2.5 experiment.
+type Fig4Point struct {
+	NopsBeforeFence int
+	UopsNoTrigger   float64
+	UopsTrigger     float64
+	Delta           float64 // trigger - no-trigger
+}
+
+// Fig4 reproduces the Figure 4 / §5.2.5 transient-flow experiment: as the
+// mfence moves further down the fall-through path (more nops before it), the
+// UOPS_ISSUED.ANY delta between trigger and no-trigger flips sign — close
+// fences throttle the fall-through path (trigger issues more), distant
+// fences leave it free running until the rollback (trigger issues fewer).
+func Fig4(seed int64) ([]Fig4Point, error) {
+	model := cpu.I7_6700()
+	var out []Fig4Point
+	for _, nops := range []int{0, 2, 4, 8, 16, 24, 32, 48} {
+		k, err := boot(model, kernel.Config{KASLR: true}, seed)
+		if err != nil {
+			return nil, err
+		}
+		m := k.Machine()
+		prog, err := fig4Gadget(nops)
+		if err != nil {
+			return nil, err
+		}
+		probe := func(trigger bool) error {
+			cmp := uint64(0)
+			if trigger {
+				cmp = 1
+			}
+			p := m.Pipe
+			p.SetReg(isa.RBX, core.UnmappedVA)
+			p.SetReg(isa.RDX, 1)
+			p.SetReg(isa.RCX, cmp)
+			_, err := p.Exec(prog, 500_000)
+			return err
+		}
+		detrain := func() error {
+			for i := 0; i < 2; i++ {
+				if err := probe(false); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 12; i++ {
+			if err := probe(false); err != nil {
+				return nil, err
+			}
+		}
+		var probeErr error
+		const runs = 16
+		mean := func(trigger bool) float64 {
+			var total float64
+			for i := 0; i < runs; i++ {
+				if err := detrain(); err != nil {
+					probeErr = err
+					return 0
+				}
+				before := m.PMU.Read(pmu.UopsIssuedAny)
+				if err := probe(trigger); err != nil {
+					probeErr = err
+					return 0
+				}
+				total += float64(m.PMU.Read(pmu.UopsIssuedAny) - before)
+			}
+			return total / runs
+		}
+		a := mean(false)
+		b := mean(true)
+		if probeErr != nil {
+			return nil, probeErr
+		}
+		out = append(out, Fig4Point{
+			NopsBeforeFence: nops,
+			UopsNoTrigger:   a,
+			UopsTrigger:     b,
+			Delta:           b - a,
+		})
+	}
+	return out, nil
+}
+
+// fig4Gadget is the transient-flow gadget with a parameterised nop sled
+// before the fall-through path's mfence.
+func fig4Gadget(nopsBeforeFence int) (*isa.Program, error) {
+	b := isa.NewBuilder(kernel.UserCodeBase + 0x30000)
+	b.Rdtsc(isa.RSI)
+	b.Lfence()
+	b.Xbegin("abort")
+	b.LoadB(isa.RAX, isa.RBX, 0) // faulting load opens the window
+	b.Cmp(isa.RCX, isa.RDX)
+	b.Jcc(isa.CondE, "taken")
+	b.NopSled(nopsBeforeFence) // fall-through: path ① of Fig. 4
+	b.Mfence()
+	b.Jmp("end")
+	b.Label("taken") // path ③ of Fig. 4
+	b.NopSled(8)
+	b.Label("end")
+	b.Xend()
+	b.Halt()
+	b.Label("abort")
+	b.Rdtsc(isa.RDI)
+	b.Halt()
+	return b.Assemble()
+}
+
+// RenderFig4 formats the sweep.
+func RenderFig4(points []Fig4Point) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 4 / §5.2.5: UOPS_ISSUED.ANY vs fence distance")
+	fmt.Fprintf(&b, "%16s %14s %14s %10s\n", "nops-to-fence", "no-trigger", "trigger", "delta")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%16d %14.1f %14.1f %+10.1f\n",
+			p.NopsBeforeFence, p.UopsNoTrigger, p.UopsTrigger, p.Delta)
+	}
+	return b.String()
+}

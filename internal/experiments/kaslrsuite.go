@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"whisper/internal/baseline"
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+)
+
+// KASLRRow is one configuration of the §4.5 evaluation.
+type KASLRRow struct {
+	Name         string
+	CPU          string
+	Found        bool
+	Seconds      float64
+	PaperSeconds float64 // 0 when the paper gives no number
+	Note         string
+}
+
+// KASLRSuite runs the full §4.5 matrix: TET-KASLR plain/KPTI/FLARE/Docker,
+// the cross-CPU rows, the secure-TLB and FGKASLR ablations, and the
+// prefetch-timing baseline with and without FLARE.
+func KASLRSuite(reps int, seed int64) ([]KASLRRow, error) {
+	var rows []KASLRRow
+
+	runTET := func(name string, model cpu.Model, cfg kernel.Config, paperSec float64, note string) error {
+		k, err := boot(model, cfg, seed)
+		if err != nil {
+			return err
+		}
+		a, err := core.NewTETKASLR(k)
+		if err != nil {
+			return err
+		}
+		a.Reps = reps
+		res, err := a.Locate()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, KASLRRow{
+			Name:         name,
+			CPU:          model.Name,
+			Found:        res.Slot == k.BaseSlot(),
+			Seconds:      res.Seconds,
+			PaperSeconds: paperSec,
+			Note:         note,
+		})
+		return nil
+	}
+
+	if err := runTET("TET-KASLR", cpu.I9_10980XE(), kernel.Config{KASLR: true},
+		0.8829, "paper: 0.8829 s (n=3, sigma=0.0036)"); err != nil {
+		return nil, err
+	}
+	if err := runTET("TET-KASLR + KPTI", cpu.I9_10980XE(),
+		kernel.Config{KASLR: true, KPTI: true}, 1.0, "paper: trampoline found within 1 s"); err != nil {
+		return nil, err
+	}
+	if err := runTET("TET-KASLR + KPTI + FLARE", cpu.I9_10980XE(),
+		kernel.Config{KASLR: true, KPTI: true, FLARE: true}, 0, "bypasses the state-of-the-art defense"); err != nil {
+		return nil, err
+	}
+	if err := runTET("TET-KASLR + FLARE (no KPTI)", cpu.I9_10980XE(),
+		kernel.Config{KASLR: true, FLARE: true}, 0, "4K-partition eviction spares 2M image entries"); err != nil {
+		return nil, err
+	}
+	if err := runTET("TET-KASLR in Docker", cpu.I9_10980XE(),
+		kernel.Config{KASLR: true, KPTI: true, Docker: true}, 0, "container namespaces do not help"); err != nil {
+		return nil, err
+	}
+	if err := runTET("TET-KASLR", cpu.I7_6700(), kernel.Config{KASLR: true}, 0, ""); err != nil {
+		return nil, err
+	}
+	if err := runTET("TET-KASLR", cpu.I7_7700(), kernel.Config{KASLR: true}, 0, ""); err != nil {
+		return nil, err
+	}
+	if err := runTET("TET-KASLR", cpu.Ryzen5600G(), kernel.Config{KASLR: true}, 0,
+		"fails: Zen 3 does not fill the TLB on a faulting access"); err != nil {
+		return nil, err
+	}
+
+	// §6.3 hardware mitigation ablation: an Intel part whose TLB only fills
+	// when the permission check passes (secure TLB).
+	secure := cpu.I9_10980XE()
+	secure.Name = "i9-10980XE + secure TLB"
+	secure.Pipe.TLBFillOnFault = false
+	if err := runTET("TET-KASLR vs secure TLB", secure, kernel.Config{KASLR: true}, 0,
+		"fails: fill-on-fault removed (proposed hardware fix)"); err != nil {
+		return nil, err
+	}
+
+	// §6.2 software mitigation: FGKASLR. The base is still found; the
+	// code-reuse step (deriving a function from the base) breaks.
+	{
+		k, err := boot(cpu.I9_10980XE(), kernel.Config{KASLR: true, FGKASLR: true}, seed)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.NewTETKASLR(k)
+		if err != nil {
+			return nil, err
+		}
+		a.Reps = reps
+		res, err := a.Locate()
+		if err != nil {
+			return nil, err
+		}
+		derived := res.Base + kernel.KernelFunctions["commit_creds"]
+		actual, err := k.FunctionVA("commit_creds")
+		if err != nil {
+			return nil, err
+		}
+		note := "base found but derived commit_creds wrong (mitigation works)"
+		if derived == actual {
+			note = "MITIGATION FAILED: derived function address still valid"
+		}
+		rows = append(rows, KASLRRow{
+			Name:    "TET-KASLR vs FGKASLR",
+			CPU:     k.Machine().Model.Name,
+			Found:   res.Slot == k.BaseSlot() && derived != actual,
+			Seconds: res.Seconds,
+			Note:    note,
+		})
+	}
+
+	// Prefetch-timing baseline (the family FLARE was designed against).
+	runPrefetch := func(name string, cfg kernel.Config, wantDefeated bool) error {
+		k, err := boot(cpu.I9_10980XE(), cfg, seed)
+		if err != nil {
+			return err
+		}
+		a, err := baseline.NewPrefetchKASLR(k)
+		if err != nil {
+			return err
+		}
+		a.Reps = reps
+		res, err := a.Locate()
+		if err != nil {
+			return err
+		}
+		found := res.Slot == k.BaseSlot()
+		note := ""
+		if wantDefeated {
+			note = "FLARE defeats prefetch probes; TET survives (§6.1)"
+		}
+		rows = append(rows, KASLRRow{
+			Name:    name,
+			CPU:     k.Machine().Model.Name,
+			Found:   found,
+			Seconds: res.Seconds,
+			Note:    note,
+		})
+		return nil
+	}
+	if err := runPrefetch("prefetch-KASLR (baseline)", kernel.Config{KASLR: true, KPTI: true}, false); err != nil {
+		return nil, err
+	}
+	if err := runPrefetch("prefetch-KASLR + FLARE (baseline)",
+		kernel.Config{KASLR: true, KPTI: true, FLARE: true}, true); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderKASLRSuite formats the §4.5 matrix.
+func RenderKASLRSuite(rows []KASLRRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "§4.5 KASLR suite (found = attack recovered the true base)")
+	fmt.Fprintf(&b, "%-34s %-26s %6s %9s %10s  %s\n",
+		"Attack", "CPU", "found", "seconds", "paper s", "note")
+	for _, r := range rows {
+		paper := "-"
+		if r.PaperSeconds > 0 {
+			paper = fmt.Sprintf("%.4f", r.PaperSeconds)
+		}
+		fmt.Fprintf(&b, "%-34s %-26s %6s %9.4f %10s  %s\n",
+			r.Name, r.CPU, check(r.Found), r.Seconds, paper, r.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report bundles every experiment's results for machine-readable output
+// (cmd/tetbench -json).
+type Report struct {
+	Seed             int64
+	Table2           []Table2Row
+	Table2Agrees     bool
+	Table2Deviations []string `json:",omitempty"`
+	Table3           []Table3Scene
+	Fig1b            *Fig1bResult
+	Fig4             []Fig4Point
+	Throughput       []ThroughputRow
+	KASLR            []KASLRRow
+	Mitigations      []MitigationRow
+	MitigationsAgree bool
+	Stealth          []StealthRow
+	CondFamily       []CondRow
+	NoiseSweep       []NoisePoint
+}
+
+// ReportParams sizes the full run.
+type ReportParams struct {
+	Seed            int64
+	ThroughputBytes int
+	KASLRReps       int
+	Fig1bBatches    int
+}
+
+// DefaultReportParams returns bench-friendly sizes.
+func DefaultReportParams() ReportParams {
+	return ReportParams{
+		Seed:            DefaultSeed,
+		ThroughputBytes: 16,
+		KASLRReps:       8,
+		Fig1bBatches:    5,
+	}
+}
+
+// RunAll executes every experiment and returns the bundle.
+func RunAll(p ReportParams) (*Report, error) {
+	r := &Report{Seed: p.Seed}
+	var err error
+	if r.Table2, err = Table2(DefaultTable2Params(), p.Seed); err != nil {
+		return nil, err
+	}
+	r.Table2Agrees, r.Table2Deviations = Table2Agrees(r.Table2)
+	if r.Table3, err = Table3(p.Seed); err != nil {
+		return nil, err
+	}
+	if r.Fig1b, err = Fig1b(p.Fig1bBatches, p.Seed); err != nil {
+		return nil, err
+	}
+	if r.Fig4, err = Fig4(p.Seed); err != nil {
+		return nil, err
+	}
+	if r.Throughput, err = Throughput(p.ThroughputBytes, p.Seed); err != nil {
+		return nil, err
+	}
+	if r.KASLR, err = KASLRSuite(p.KASLRReps, p.Seed); err != nil {
+		return nil, err
+	}
+	if r.Mitigations, err = Mitigations(p.Seed); err != nil {
+		return nil, err
+	}
+	r.MitigationsAgree, _ = MitigationsAgree(r.Mitigations)
+	if r.Stealth, err = Stealth(p.Seed); err != nil {
+		return nil, err
+	}
+	if r.CondFamily, err = CondFamily(p.Seed); err != nil {
+		return nil, err
+	}
+	if r.NoiseSweep, err = NoiseSweep(p.Seed); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// WriteJSON encodes the report (indented) to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/pmu"
+)
+
+// Table3Scene is one (CPU, workload) block of the paper's Table 3: the same
+// probe run under two conditions, with the PMU toolset's differential
+// analysis between them.
+type Table3Scene struct {
+	Name   string
+	CPU    string
+	LabelA string // e.g. "Jcc not trigger" / "unmapped"
+	LabelB string // e.g. "Jcc trigger" / "mapped"
+	Diffs  []pmu.Diff
+	// KeyEvents are the paper's rows for this scene with expected
+	// directions: +1 (B larger), -1 (B smaller), 0 (unchanged).
+	KeyEvents []KeyEvent
+}
+
+// KeyEvent is one paper row: expected direction and whether we matched it.
+type KeyEvent struct {
+	Event   string
+	PaperA  float64
+	PaperB  float64
+	WantDir int
+	GotA    float64
+	GotB    float64
+	GotDir  int
+	Match   bool
+}
+
+const table3Runs = 24
+
+func dirOf(a, b float64) int {
+	const eps = 0.5
+	switch {
+	case b > a+eps:
+		return 1
+	case b < a-eps:
+		return -1
+	}
+	return 0
+}
+
+// evaluateKeys fills measured values and direction matches from raw runs.
+func evaluateKeys(keys []KeyEvent, a, b []pmu.Run) []KeyEvent {
+	mean := func(runs []pmu.Run, e pmu.Event) float64 {
+		var s float64
+		for _, r := range runs {
+			s += float64(r.Get(e))
+		}
+		return s / float64(len(runs))
+	}
+	out := make([]KeyEvent, len(keys))
+	for i, k := range keys {
+		e, ok := pmu.ByName(k.Event)
+		if !ok {
+			k.Match = false
+			out[i] = k
+			continue
+		}
+		k.GotA = mean(a, e)
+		k.GotB = mean(b, e)
+		k.GotDir = dirOf(k.GotA, k.GotB)
+		k.Match = k.GotDir == k.WantDir
+		out[i] = k
+	}
+	return out
+}
+
+// Table3 runs all four Table 3 scenes and the KASLR DTLB scene.
+func Table3(seed int64) ([]Table3Scene, error) {
+	var scenes []Table3Scene
+
+	// Scene: TET-CC on i7-6700 (branch/stall events).
+	s, err := sceneCC(cpu.I7_6700(), seed, []KeyEvent{
+		{Event: "BR_MISP_EXEC.INDIRECT", PaperA: 0, PaperB: 1, WantDir: 1},
+		{Event: "BR_MISP_EXEC.ALL_BRANCHES", PaperA: 0, PaperB: 2, WantDir: 1},
+		{Event: "RESOURCE_STALLS.ANY", PaperA: 15, PaperB: 21, WantDir: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	scenes = append(scenes, s)
+
+	// Scene: TET-CC on i7-7700 (frontend DSB/MITE shift — also Fig. 3).
+	s, err = sceneCC(cpu.I7_7700(), seed+1, []KeyEvent{
+		{Event: "IDQ.DSB_UOPS", PaperA: 119, PaperB: 115, WantDir: -1},
+		{Event: "IDQ.MS_MITE_UOPS", PaperA: 77, PaperB: 97, WantDir: 1},
+		{Event: "IDQ.ALL_MITE_CYCLES_ANY_UOPS", PaperA: 35, PaperB: 45, WantDir: 1},
+		{Event: "UOPS_EXECUTED.CORE_CYCLES_NONE", PaperA: 110, PaperB: 116, WantDir: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	scenes = append(scenes, s)
+
+	// Scene: TET-MD on i7-7700 (backend stalls and recovery).
+	s, err = sceneMD(seed + 2)
+	if err != nil {
+		return nil, err
+	}
+	scenes = append(scenes, s)
+
+	// Scene: TET-CC on Ryzen 5 5600G (AMD events).
+	s, err = sceneCC(cpu.Ryzen5600G(), seed+3, []KeyEvent{
+		{Event: "de_dis_dispatch_token_stalls2.retire_token_stall", PaperA: 4, PaperB: 84, WantDir: 1},
+		{Event: "de_dis_uop_queue_empty_di0", PaperA: 182, PaperB: 195, WantDir: 1},
+		{Event: "ic_fw32", PaperA: 661, PaperB: 690, WantDir: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	scenes = append(scenes, s)
+
+	// Scene: TET-KASLR on i9-10980XE (memory-subsystem events,
+	// unmapped vs mapped).
+	s, err = sceneKASLR(seed + 4)
+	if err != nil {
+		return nil, err
+	}
+	scenes = append(scenes, s)
+
+	return scenes, nil
+}
+
+// sceneCC measures the covert-channel probe with the transient Jcc not
+// triggered (A) vs triggered (B).
+func sceneCC(model cpu.Model, seed int64, keys []KeyEvent) (Table3Scene, error) {
+	k, err := boot(model, kernel.Config{KASLR: true}, seed)
+	if err != nil {
+		return Table3Scene{}, err
+	}
+	m := k.Machine()
+	pr, err := core.NewProber(m, core.SuppressTSX, false)
+	if err != nil {
+		return Table3Scene{}, err
+	}
+	// Warm up.
+	for i := 0; i < 16; i++ {
+		if _, err := pr.ProbeStable(core.UnmappedVA, false); err != nil {
+			return Table3Scene{}, err
+		}
+	}
+	var probeErr error
+	runA := pmu.Collect(m.PMU, table3Runs, func() {
+		if _, err := pr.ProbeStable(core.UnmappedVA, false); err != nil {
+			probeErr = err
+		}
+	})
+	runB := pmu.Collect(m.PMU, table3Runs, func() {
+		if _, err := pr.ProbeStable(core.UnmappedVA, true); err != nil {
+			probeErr = err
+		}
+	})
+	if probeErr != nil {
+		return Table3Scene{}, probeErr
+	}
+	events := pmu.EventsForVendor(model.Vendor)
+	return Table3Scene{
+		Name:      "TET-CC",
+		CPU:       model.Name,
+		LabelA:    "Jcc not trigger",
+		LabelB:    "Jcc trigger",
+		Diffs:     pmu.Differential(runA, runB, events, 3.0),
+		KeyEvents: evaluateKeys(keys, runA, runB),
+	}, nil
+}
+
+// sceneMD measures the TET-MD probe with a non-matching (A) vs matching (B)
+// test value on the i7-7700.
+func sceneMD(seed int64) (Table3Scene, error) {
+	model := cpu.I7_7700()
+	k, err := boot(model, kernel.Config{KASLR: true}, seed)
+	if err != nil {
+		return Table3Scene{}, err
+	}
+	secret := byte('S')
+	k.WriteSecret([]byte{secret})
+	m := k.Machine()
+	pr, err := core.NewProber(m, core.SuppressTSX, true)
+	if err != nil {
+		return Table3Scene{}, err
+	}
+	probe := func(test uint64) error {
+		// De-train, then measure — the sweep's steady state.
+		for i := 0; i < 2; i++ {
+			if _, err := pr.Probe(k.SecretVA(), 256, 0); err != nil {
+				return err
+			}
+		}
+		_, err := pr.Probe(k.SecretVA(), test, 0)
+		return err
+	}
+	for i := 0; i < 16; i++ {
+		if err := probe(0); err != nil {
+			return Table3Scene{}, err
+		}
+	}
+	var probeErr error
+	runA := pmu.Collect(m.PMU, table3Runs, func() {
+		if err := probe(uint64(secret) + 1); err != nil {
+			probeErr = err
+		}
+	})
+	runB := pmu.Collect(m.PMU, table3Runs, func() {
+		if err := probe(uint64(secret)); err != nil {
+			probeErr = err
+		}
+	})
+	if probeErr != nil {
+		return Table3Scene{}, probeErr
+	}
+	keys := []KeyEvent{
+		{Event: "RESOURCE_STALLS.ANY", PaperA: 15, PaperB: 21, WantDir: 1},
+		{Event: "CYCLE_ACTIVITY.STALLS_TOTAL", PaperA: 320, PaperB: 331, WantDir: 1},
+		{Event: "UOPS_EXECUTED.STALL_CYCLES", PaperA: 325, PaperB: 332, WantDir: 1},
+		{Event: "INT_MISC.RECOVERY_CYCLES_ANY", PaperA: 24, PaperB: 29, WantDir: 1},
+		{Event: "INT_MISC.CLEAR_RESTEER_CYCLES", PaperA: 27, PaperB: 39, WantDir: 1},
+		{Event: "RS_EVENTS.EMPTY_CYCLES", PaperA: 202, PaperB: 218, WantDir: 1},
+	}
+	return Table3Scene{
+		Name:      "TET-MD",
+		CPU:       model.Name,
+		LabelA:    "Jcc not trigger",
+		LabelB:    "Jcc trigger",
+		Diffs:     pmu.Differential(runA, runB, pmu.EventsForVendor(model.Vendor), 3.0),
+		KeyEvents: evaluateKeys(keys, runA, runB),
+	}, nil
+}
+
+// sceneKASLR measures the KASLR probe's DTLB behaviour: unmapped (A) vs
+// mapped (B) targets on the i9-10980XE, each probe preceded by a TLB
+// eviction and a warm probe (the attack's steady state).
+func sceneKASLR(seed int64) (Table3Scene, error) {
+	model := cpu.I9_10980XE()
+	k, err := boot(model, kernel.Config{KASLR: true}, seed)
+	if err != nil {
+		return Table3Scene{}, err
+	}
+	m := k.Machine()
+	pr, err := core.NewProber(m, core.SuppressTSX, true)
+	if err != nil {
+		return Table3Scene{}, err
+	}
+	mapped := k.KASLRBase()
+	unmapped := k.ProbeTarget((k.BaseSlot() + kernel.ImageSlots + 7) % kernel.NumSlots)
+	probe := func(target uint64) error {
+		_, err := pr.Probe(target, 256, 0)
+		return err
+	}
+	measure := func(target uint64) []pmu.Run {
+		return pmu.Collect(m.PMU, table3Runs, func() {
+			k.EvictTLB()
+			if err := probe(target); err != nil { // warm: fills TLB iff mapped
+				return
+			}
+			_ = probe(target) // measured probe
+		})
+	}
+	runA := measure(unmapped)
+	runB := measure(mapped)
+	keys := []KeyEvent{
+		{Event: "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK", PaperA: 2, PaperB: 0, WantDir: -1},
+		{Event: "DTLB_LOAD_MISSES.WALK_ACTIVE", PaperA: 62, PaperB: 0, WantDir: -1},
+	}
+	return Table3Scene{
+		Name:      "TET-KASLR",
+		CPU:       model.Name,
+		LabelA:    "unmapped",
+		LabelB:    "mapped",
+		Diffs:     pmu.Differential(runA, runB, pmu.EventsForVendor(model.Vendor), 3.0),
+		KeyEvents: evaluateKeys(keys, runA, runB),
+	}, nil
+}
+
+// RenderTable3 formats the scenes with paper-vs-measured key rows.
+func RenderTable3(scenes []Table3Scene) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 3: Key performance monitor counter values (paper vs measured means)")
+	for _, s := range scenes {
+		fmt.Fprintf(&b, "\n%s — %s  (%s vs %s)\n", s.CPU, s.Name, s.LabelA, s.LabelB)
+		fmt.Fprintf(&b, "  %-50s %10s %10s | %10s %10s %6s\n",
+			"Event", "paper A", "paper B", "meas A", "meas B", "dir")
+		for _, kv := range s.KeyEvents {
+			fmt.Fprintf(&b, "  %-50s %10.0f %10.0f | %10.1f %10.1f %6s\n",
+				kv.Event, kv.PaperA, kv.PaperB, kv.GotA, kv.GotB, check(kv.Match))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"whisper/internal/baseline"
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/smt"
+	"whisper/internal/stats"
+)
+
+// ThroughputRow is one channel/attack throughput measurement (§4.1, §4.4).
+type ThroughputRow struct {
+	Name     string
+	CPU      string
+	Bytes    int
+	Bps      float64
+	ErrRate  float64
+	ErrKind  string  // "byte" or "bit" (the SMT rates in §4.4 are bit rates)
+	PaperBps float64 // 0 when the paper reports none
+	PaperErr float64
+}
+
+// randomPayload is deterministic pseudo-random data (the paper uses 1k
+// random bytes).
+func randomPayload(n int, seed byte) []byte {
+	out := make([]byte, n)
+	x := uint32(seed) | 0x9e3779b9
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		out[i] = byte(x)
+	}
+	return out
+}
+
+// Throughput measures every §4.1/§4.4 channel plus the cache-channel
+// baselines. bytes sizes the payload (the paper uses 1024).
+func Throughput(bytes int, seed int64) ([]ThroughputRow, error) {
+	var rows []ThroughputRow
+	add := func(name, cpuName string, payload, got []byte, res core.LeakResult, paperBps, paperErr float64) {
+		rows = append(rows, ThroughputRow{
+			Name:     name,
+			CPU:      cpuName,
+			Bytes:    len(payload),
+			Bps:      res.Bps,
+			ErrRate:  stats.ByteErrorRate(got, payload),
+			ErrKind:  "byte",
+			PaperBps: paperBps,
+			PaperErr: paperErr,
+		})
+	}
+	addBits := func(name, cpuName string, payload, got []byte, res core.LeakResult, paperBps, paperErr float64) {
+		rows = append(rows, ThroughputRow{
+			Name:     name,
+			CPU:      cpuName,
+			Bytes:    len(payload),
+			Bps:      res.Bps,
+			ErrRate:  stats.BitErrorRate(got, payload),
+			ErrKind:  "bit",
+			PaperBps: paperBps,
+			PaperErr: paperErr,
+		})
+	}
+
+	// TET-CC on i7-7700 (paper: 500 B/s, <5 % error).
+	{
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := core.NewTETCovertChannel(k)
+		if err != nil {
+			return nil, err
+		}
+		payload := randomPayload(bytes, 1)
+		res, err := cc.Transfer(payload)
+		if err != nil {
+			return nil, fmt.Errorf("throughput CC: %w", err)
+		}
+		add("TET-CC", k.Machine().Model.Name, payload, res.Data, res, 500, 0.05)
+	}
+
+	// TET-MD on i7-7700 (paper: 50 B/s, <3 % error).
+	{
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		payload := randomPayload(bytes, 2)
+		k.WriteSecret(payload)
+		md, err := core.NewTETMeltdown(k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := md.Leak(k.SecretVA(), len(payload))
+		if err != nil {
+			return nil, fmt.Errorf("throughput MD: %w", err)
+		}
+		add("TET-MD", k.Machine().Model.Name, payload, res.Data, res, 50, 0.03)
+	}
+
+	// TET-ZBL on i7-7700 (paper reports success but no rate).
+	{
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+2)
+		if err != nil {
+			return nil, err
+		}
+		payload := randomPayload(bytes, 3)
+		k.WriteSecret(payload)
+		z, err := core.NewTETZombieload(k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := z.Leak(len(payload))
+		if err != nil {
+			return nil, fmt.Errorf("throughput ZBL: %w", err)
+		}
+		add("TET-ZBL", k.Machine().Model.Name, payload, res.Data, res, 0, 0)
+	}
+
+	// TET-RSB on i9-13900K (paper: 21.5 KB/s, <0.1 % error).
+	{
+		k, err := boot(cpu.I9_13900K(), kernel.Config{KASLR: true}, seed+3)
+		if err != nil {
+			return nil, err
+		}
+		m := k.Machine()
+		payload := randomPayload(bytes, 4)
+		secretVA := uint64(kernel.UserDataBase + 0x400)
+		pa, _ := k.UserAS().Translate(secretVA)
+		m.Phys.StoreBytes(pa, payload)
+		rsb, err := core.NewTETRSB(k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := rsb.Leak(secretVA, len(payload))
+		if err != nil {
+			return nil, fmt.Errorf("throughput RSB: %w", err)
+		}
+		add("TET-RSB", m.Model.Name, payload, res.Data, res, 21500, 0.001)
+	}
+
+	// SMT channel, both operating points, on i7-7700.
+	{
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+4)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := smt.NewChannel(k, smt.ModeReliable)
+		if err != nil {
+			return nil, err
+		}
+		payload := randomPayload(minInt(bytes, 4), 5) // second-scale windows
+		res, err := ch.Transfer(payload)
+		if err != nil {
+			return nil, fmt.Errorf("throughput SMT: %w", err)
+		}
+		addBits("SMT-CC (reliable)", k.Machine().Model.Name, payload, res.Data, res, 1, 0.05)
+	}
+	{
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+5)
+		if err != nil {
+			return nil, err
+		}
+		ch, err := smt.NewChannel(k, smt.ModeSecSMT)
+		if err != nil {
+			return nil, err
+		}
+		payload := randomPayload(bytes, 6)
+		res, err := ch.Transfer(payload)
+		if err != nil {
+			return nil, fmt.Errorf("throughput SecSMT: %w", err)
+		}
+		addBits("SMT-CC (SecSMT eval)", k.Machine().Model.Name, payload, res.Data, res, 268_000, 0.28)
+	}
+
+	// Baselines for comparison.
+	{
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+6)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := baseline.NewFlushReload(k)
+		if err != nil {
+			return nil, err
+		}
+		payload := randomPayload(bytes, 7)
+		res, err := fr.Transfer(payload)
+		if err != nil {
+			return nil, fmt.Errorf("throughput F+R: %w", err)
+		}
+		add("Flush+Reload CC (baseline)", k.Machine().Model.Name, payload, res.Data, res, 0, 0)
+	}
+	{
+		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+7)
+		if err != nil {
+			return nil, err
+		}
+		payload := randomPayload(bytes, 8)
+		k.WriteSecret(payload)
+		md, err := baseline.NewMeltdownFR(k)
+		if err != nil {
+			return nil, err
+		}
+		res, err := md.Leak(k.SecretVA(), len(payload))
+		if err != nil {
+			return nil, fmt.Errorf("throughput MD-F+R: %w", err)
+		}
+		add("Meltdown-F+R (baseline)", k.Machine().Model.Name, payload, res.Data, res, 0, 0)
+	}
+	return rows, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RenderThroughput formats the §4.1 comparison.
+func RenderThroughput(rows []ThroughputRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "§4.1/§4.4 channel throughput (measured vs paper)")
+	fmt.Fprintf(&b, "%-28s %-22s %7s %14s %8s %-5s %12s %9s\n",
+		"Channel", "CPU", "bytes", "B/s", "err", "kind", "paper B/s", "paperErr")
+	for _, r := range rows {
+		paperBps := "-"
+		paperErr := "-"
+		if r.PaperBps > 0 {
+			paperBps = fmt.Sprintf("%.1f", r.PaperBps)
+			paperErr = fmt.Sprintf("%.1f%%", r.PaperErr*100)
+		}
+		fmt.Fprintf(&b, "%-28s %-22s %7d %14.1f %7.1f%% %-5s %12s %9s\n",
+			r.Name, r.CPU, r.Bytes, r.Bps, r.ErrRate*100, r.ErrKind, paperBps, paperErr)
+	}
+	return b.String()
+}

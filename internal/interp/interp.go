@@ -1,0 +1,235 @@
+// Package interp is a plain sequential interpreter for the simulator's ISA.
+// It defines the architectural semantics the out-of-order pipeline must
+// preserve and serves as the oracle for differential testing: any program
+// without timing-dependent instructions must leave identical architectural
+// state behind on both engines, whatever speculation the pipeline performed.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"whisper/internal/isa"
+	"whisper/internal/mem"
+	"whisper/internal/paging"
+)
+
+// ErrFault is returned when a memory access has no valid user translation.
+var ErrFault = errors.New("interp: memory fault")
+
+// ErrBudget is returned when a program exceeds its instruction budget.
+var ErrBudget = errors.New("interp: instruction budget exceeded")
+
+// Machine is the interpreter's architectural state.
+type Machine struct {
+	AS    *paging.AddressSpace
+	Phys  *mem.Physical
+	Regs  [isa.NumRegs]uint64
+	Flags isa.Flags
+
+	tsc        uint64
+	inTxn      bool
+	txnRegs    [isa.NumRegs]uint64
+	txnFlags   isa.Flags
+	txnAbort   int
+	sigHandler int
+}
+
+// New returns an interpreter over an address space.
+func New(as *paging.AddressSpace) *Machine {
+	return &Machine{AS: as, Phys: as.Phys(), sigHandler: -1}
+}
+
+// SetSignalHandler mirrors the pipeline's fault-suppression hook.
+func (m *Machine) SetSignalHandler(idx int) { m.sigHandler = idx }
+
+func (m *Machine) translate(va uint64, write bool) (uint64, error) {
+	w := m.AS.WalkVA(va)
+	if !w.Present || !w.User() {
+		return 0, fmt.Errorf("%w: va %#x", ErrFault, va)
+	}
+	if write && !w.Writable() {
+		return 0, fmt.Errorf("%w: write to read-only va %#x", ErrFault, va)
+	}
+	return w.PA, nil
+}
+
+func (m *Machine) get(r isa.Reg) uint64 { return m.Regs[r] }
+
+func (m *Machine) set(r isa.Reg, v uint64) {
+	if r != isa.RZERO {
+		m.Regs[r] = v
+	}
+}
+
+// fault handles a memory fault: TSX abort, signal handler, or error.
+// It returns the next instruction index, or -1 with err set.
+func (m *Machine) fault(cause error) (int, error) {
+	if m.inTxn {
+		m.Regs = m.txnRegs
+		m.Flags = m.txnFlags
+		m.inTxn = false
+		return m.txnAbort, nil
+	}
+	if m.sigHandler >= 0 {
+		return m.sigHandler, nil
+	}
+	return -1, cause
+}
+
+// Run executes prog until Halt, a budget overrun, or an unsuppressed fault.
+func (m *Machine) Run(prog *isa.Program, maxInsts int) error {
+	pc := 0
+	for executed := 0; ; executed++ {
+		if executed >= maxInsts {
+			return ErrBudget
+		}
+		if pc < 0 || pc >= prog.Len() {
+			return fmt.Errorf("interp: pc %d out of program", pc)
+		}
+		in := prog.At(pc)
+		next := pc + 1
+		switch in.Op {
+		case isa.OpNop, isa.OpMfence, isa.OpLfence, isa.OpSfence:
+			// architectural no-ops
+		case isa.OpMovImm:
+			m.set(in.Dst, uint64(in.Imm))
+		case isa.OpMov:
+			m.set(in.Dst, m.get(in.Src1))
+		case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpImul, isa.OpCmp:
+			r, f := aluOp(in.Op, m.get(in.Src1), m.get(in.Src2))
+			if in.Op != isa.OpCmp {
+				m.set(in.Dst, r)
+			}
+			if in.WritesFlags() {
+				m.Flags = f
+			}
+		case isa.OpAddImm, isa.OpSubImm, isa.OpAndImm, isa.OpShlImm, isa.OpShrImm, isa.OpCmpImm:
+			r, f := aluImmOp(in.Op, m.get(in.Src1), uint64(in.Imm))
+			if in.Op != isa.OpCmpImm {
+				m.set(in.Dst, r)
+			}
+			if in.WritesFlags() {
+				m.Flags = f
+			}
+		case isa.OpLoad:
+			pa, err := m.translate(m.get(in.Src1)+uint64(in.Imm), false)
+			if err != nil {
+				if next, err = m.fault(err); err != nil {
+					return err
+				}
+				pc = next
+				continue
+			}
+			m.set(in.Dst, m.Phys.Read(pa, in.Size))
+		case isa.OpStore:
+			pa, err := m.translate(m.get(in.Src1)+uint64(in.Imm), true)
+			if err != nil {
+				if next, err = m.fault(err); err != nil {
+					return err
+				}
+				pc = next
+				continue
+			}
+			m.Phys.Write(pa, in.Size, m.get(in.Src2))
+		case isa.OpJmp:
+			next = in.Target
+		case isa.OpJcc:
+			if in.Cond.Eval(m.Flags) {
+				next = in.Target
+			}
+		case isa.OpCall:
+			rsp := m.get(isa.RSP) - 8
+			pa, err := m.translate(rsp, true)
+			if err != nil {
+				if next, err = m.fault(err); err != nil {
+					return err
+				}
+				pc = next
+				continue
+			}
+			m.Phys.Write(pa, 8, prog.VA(pc+1))
+			m.set(isa.RSP, rsp)
+			next = in.Target
+		case isa.OpRet:
+			rsp := m.get(isa.RSP)
+			pa, err := m.translate(rsp, false)
+			if err != nil {
+				if next, err = m.fault(err); err != nil {
+					return err
+				}
+				pc = next
+				continue
+			}
+			target := m.Phys.Read(pa, 8)
+			m.set(isa.RSP, rsp+8)
+			idx := prog.Index(target)
+			if idx < 0 {
+				return fmt.Errorf("interp: ret to %#x outside program", target)
+			}
+			next = idx
+		case isa.OpRdtsc:
+			m.tsc += 16
+			m.set(in.Dst, m.tsc)
+		case isa.OpClflush, isa.OpPrefetch:
+			// microarchitectural only
+		case isa.OpXbegin:
+			m.inTxn = true
+			m.txnRegs = m.Regs
+			m.txnFlags = m.Flags
+			m.txnAbort = in.Target
+		case isa.OpXend:
+			m.inTxn = false
+		case isa.OpHalt:
+			return nil
+		default:
+			return fmt.Errorf("interp: unknown op %v", in.Op)
+		}
+		pc = next
+	}
+}
+
+func aluOp(op isa.Op, a, b uint64) (uint64, isa.Flags) {
+	var r uint64
+	var f isa.Flags
+	switch op {
+	case isa.OpAdd:
+		r = a + b
+		f.CF = r < a
+	case isa.OpSub, isa.OpCmp:
+		r = a - b
+		f.CF = a < b
+	case isa.OpAnd:
+		r = a & b
+	case isa.OpOr:
+		r = a | b
+	case isa.OpXor:
+		r = a ^ b
+	case isa.OpImul:
+		r = a * b
+	}
+	f.ZF = r == 0
+	f.SF = r>>63 != 0
+	if op == isa.OpCmp {
+		return a, f
+	}
+	return r, f
+}
+
+func aluImmOp(op isa.Op, a, imm uint64) (uint64, isa.Flags) {
+	switch op {
+	case isa.OpAddImm:
+		return aluOp(isa.OpAdd, a, imm)
+	case isa.OpSubImm:
+		return aluOp(isa.OpSub, a, imm)
+	case isa.OpAndImm:
+		return aluOp(isa.OpAnd, a, imm)
+	case isa.OpCmpImm:
+		return aluOp(isa.OpCmp, a, imm)
+	case isa.OpShlImm:
+		return a << (imm & 63), isa.Flags{ZF: a<<(imm&63) == 0}
+	case isa.OpShrImm:
+		return a >> (imm & 63), isa.Flags{ZF: a>>(imm&63) == 0}
+	}
+	return 0, isa.Flags{}
+}

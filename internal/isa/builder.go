@@ -1,0 +1,231 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program, resolving symbolic labels to instruction
+// indices. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	base   uint64
+	insts  []Inst
+	labels map[string]int
+	errs   []error
+}
+
+// NewBuilder returns a Builder for a program based at the given code address.
+func NewBuilder(base uint64) *Builder {
+	return &Builder{base: base, labels: make(map[string]int)}
+}
+
+// Label binds name to the index of the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+// Pos returns the index the next emitted instruction will have.
+func (b *Builder) Pos() int { return len(b.insts) }
+
+func (b *Builder) emit(in Inst) *Builder {
+	if in.Size == 0 && (in.Op == OpLoad || in.Op == OpStore) {
+		in.Size = 8
+	}
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Inst{Op: OpNop}) }
+
+// NopSled emits n consecutive no-ops.
+func (b *Builder) NopSled(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.Nop()
+	}
+	return b
+}
+
+// MovImm emits dst = imm.
+func (b *Builder) MovImm(dst Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpMovImm, Dst: dst, Imm: imm})
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src Reg) *Builder {
+	return b.emit(Inst{Op: OpMov, Dst: dst, Src1: src})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 Reg) *Builder {
+	return b.emit(Inst{Op: OpAdd, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// AddImm emits dst = src + imm.
+func (b *Builder) AddImm(dst, src Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpAddImm, Dst: dst, Src1: src, Imm: imm})
+}
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 Reg) *Builder {
+	return b.emit(Inst{Op: OpSub, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// SubImm emits dst = src - imm.
+func (b *Builder) SubImm(dst, src Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpSubImm, Dst: dst, Src1: src, Imm: imm})
+}
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 Reg) *Builder {
+	return b.emit(Inst{Op: OpAnd, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// AndImm emits dst = src & imm.
+func (b *Builder) AndImm(dst, src Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpAndImm, Dst: dst, Src1: src, Imm: imm})
+}
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 Reg) *Builder {
+	return b.emit(Inst{Op: OpOr, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 Reg) *Builder {
+	return b.emit(Inst{Op: OpXor, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// ShlImm emits dst = src << imm.
+func (b *Builder) ShlImm(dst, src Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpShlImm, Dst: dst, Src1: src, Imm: imm})
+}
+
+// ShrImm emits dst = src >> imm (logical).
+func (b *Builder) ShrImm(dst, src Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpShrImm, Dst: dst, Src1: src, Imm: imm})
+}
+
+// Imul emits dst = s1 * s2.
+func (b *Builder) Imul(dst, s1, s2 Reg) *Builder {
+	return b.emit(Inst{Op: OpImul, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Load emits dst = mem[base+disp] with the given access size in bytes.
+func (b *Builder) Load(dst, base Reg, disp int64, size int) *Builder {
+	return b.emit(Inst{Op: OpLoad, Dst: dst, Src1: base, Imm: disp, Size: size})
+}
+
+// LoadB emits a 1-byte load dst = mem[base+disp].
+func (b *Builder) LoadB(dst, base Reg, disp int64) *Builder {
+	return b.Load(dst, base, disp, 1)
+}
+
+// LoadQ emits an 8-byte load dst = mem[base+disp].
+func (b *Builder) LoadQ(dst, base Reg, disp int64) *Builder {
+	return b.Load(dst, base, disp, 8)
+}
+
+// Store emits mem[base+disp] = src with the given access size in bytes.
+func (b *Builder) Store(base Reg, disp int64, src Reg, size int) *Builder {
+	return b.emit(Inst{Op: OpStore, Src1: base, Imm: disp, Src2: src, Size: size})
+}
+
+// StoreQ emits an 8-byte store mem[base+disp] = src.
+func (b *Builder) StoreQ(base Reg, disp int64, src Reg) *Builder {
+	return b.Store(base, disp, src, 8)
+}
+
+// Cmp emits flags = compare(s1, s2).
+func (b *Builder) Cmp(s1, s2 Reg) *Builder {
+	return b.emit(Inst{Op: OpCmp, Src1: s1, Src2: s2})
+}
+
+// CmpImm emits flags = compare(src, imm).
+func (b *Builder) CmpImm(src Reg, imm int64) *Builder {
+	return b.emit(Inst{Op: OpCmpImm, Src1: src, Imm: imm})
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) *Builder {
+	return b.emit(Inst{Op: OpJmp, label: label})
+}
+
+// Jcc emits a conditional jump to label.
+func (b *Builder) Jcc(c Cond, label string) *Builder {
+	return b.emit(Inst{Op: OpJcc, Cond: c, label: label})
+}
+
+// Call emits a call to label (pushes the return address on the stack).
+func (b *Builder) Call(label string) *Builder {
+	return b.emit(Inst{Op: OpCall, label: label})
+}
+
+// Ret emits a return (pops the return address from the stack).
+func (b *Builder) Ret() *Builder { return b.emit(Inst{Op: OpRet}) }
+
+// Rdtsc emits dst = current cycle count.
+func (b *Builder) Rdtsc(dst Reg) *Builder {
+	return b.emit(Inst{Op: OpRdtsc, Dst: dst})
+}
+
+// Clflush emits a cache-line flush of mem[base+disp].
+func (b *Builder) Clflush(base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpClflush, Src1: base, Imm: disp})
+}
+
+// Prefetch emits a software prefetch of mem[base+disp].
+func (b *Builder) Prefetch(base Reg, disp int64) *Builder {
+	return b.emit(Inst{Op: OpPrefetch, Src1: base, Imm: disp})
+}
+
+// Mfence emits a full memory fence.
+func (b *Builder) Mfence() *Builder { return b.emit(Inst{Op: OpMfence}) }
+
+// Lfence emits a load fence (serialises instruction issue, as on x86).
+func (b *Builder) Lfence() *Builder { return b.emit(Inst{Op: OpLfence}) }
+
+// Sfence emits a store fence.
+func (b *Builder) Sfence() *Builder { return b.emit(Inst{Op: OpSfence}) }
+
+// Xbegin emits a transaction begin whose abort handler is at label.
+func (b *Builder) Xbegin(abortLabel string) *Builder {
+	return b.emit(Inst{Op: OpXbegin, label: abortLabel})
+}
+
+// Xend emits a transaction commit.
+func (b *Builder) Xend() *Builder { return b.emit(Inst{Op: OpXend}) }
+
+// Halt emits a halt, which stops simulation.
+func (b *Builder) Halt() *Builder { return b.emit(Inst{Op: OpHalt}) }
+
+// Assemble resolves labels and returns the finished Program.
+func (b *Builder) Assemble() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	insts := make([]Inst, len(b.insts))
+	copy(insts, b.insts)
+	for i := range insts {
+		if insts[i].label == "" {
+			continue
+		}
+		tgt, ok := b.labels[insts[i].label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q at inst %d", insts[i].label, i)
+		}
+		insts[i].Target = tgt
+		insts[i].label = ""
+	}
+	return &Program{Base: b.base, Insts: insts}, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and fixed gadgets.
+func (b *Builder) MustAssemble() *Program {
+	p, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+package isa
+
+import "testing"
+
+// TestBuilderEmitsEveryOp drives each emitter once and checks the emitted
+// opcode, operands and sizes — the builder is the only assembler in the
+// repository, so its encodings are load-bearing for everything above it.
+func TestBuilderEmitsEveryOp(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.Label("start")
+	b.Nop()
+	b.MovImm(RAX, 7)
+	b.Mov(RBX, RAX)
+	b.Add(RCX, RAX, RBX)
+	b.AddImm(RCX, RCX, 1)
+	b.Sub(RDX, RCX, RAX)
+	b.SubImm(RDX, RDX, 2)
+	b.And(RSI, RAX, RBX)
+	b.AndImm(RSI, RSI, 0xff)
+	b.Or(RDI, RAX, RBX)
+	b.Xor(R8, RAX, RBX)
+	b.ShlImm(R9, RAX, 3)
+	b.ShrImm(R10, RAX, 4)
+	b.Imul(R11, RAX, RBX)
+	b.LoadB(R12, RAX, 8)
+	b.LoadQ(R13, RAX, 16)
+	b.Load(R14, RAX, 24, 4)
+	b.StoreQ(RAX, 0, RBX)
+	b.Store(RAX, 8, RBX, 2)
+	b.Cmp(RAX, RBX)
+	b.CmpImm(RAX, 9)
+	b.Jmp("start")
+	b.Jcc(CondE, "start")
+	b.Call("start")
+	b.Ret()
+	b.Rdtsc(R15)
+	b.Clflush(RAX, 0)
+	b.Prefetch(RAX, 64)
+	b.Mfence()
+	b.Lfence()
+	b.Sfence()
+	b.Xbegin("start")
+	b.Xend()
+	b.NopSled(2)
+	if b.Pos() != 35 {
+		t.Fatalf("Pos = %d, want 35", b.Pos())
+	}
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := []struct {
+		op   Op
+		size int
+	}{
+		{OpNop, 0}, {OpMovImm, 0}, {OpMov, 0}, {OpAdd, 0}, {OpAddImm, 0},
+		{OpSub, 0}, {OpSubImm, 0}, {OpAnd, 0}, {OpAndImm, 0}, {OpOr, 0},
+		{OpXor, 0}, {OpShlImm, 0}, {OpShrImm, 0}, {OpImul, 0},
+		{OpLoad, 1}, {OpLoad, 8}, {OpLoad, 4}, {OpStore, 8}, {OpStore, 2},
+		{OpCmp, 0}, {OpCmpImm, 0}, {OpJmp, 0}, {OpJcc, 0}, {OpCall, 0},
+		{OpRet, 0}, {OpRdtsc, 0}, {OpClflush, 0}, {OpPrefetch, 0},
+		{OpMfence, 0}, {OpLfence, 0}, {OpSfence, 0}, {OpXbegin, 0},
+		{OpXend, 0}, {OpNop, 0}, {OpNop, 0}, {OpHalt, 0},
+	}
+	if p.Len() != len(want) {
+		t.Fatalf("program len = %d, want %d", p.Len(), len(want))
+	}
+	for i, w := range want {
+		in := p.At(i)
+		if in.Op != w.op {
+			t.Errorf("inst %d op = %v, want %v", i, in.Op, w.op)
+		}
+		if w.size != 0 && in.Size != w.size {
+			t.Errorf("inst %d size = %d, want %d", i, in.Size, w.size)
+		}
+	}
+	// Branch targets all resolved to "start" (index 0).
+	for _, idx := range []int{21, 22, 23, 31} {
+		if p.At(idx).Target != 0 {
+			t.Errorf("inst %d target = %d, want 0", idx, p.At(idx).Target)
+		}
+	}
+	// Operand plumbing spot checks.
+	if in := p.At(1); in.Dst != RAX || in.Imm != 7 {
+		t.Errorf("movimm wrong: %+v", in)
+	}
+	if in := p.At(3); in.Dst != RCX || in.Src1 != RAX || in.Src2 != RBX {
+		t.Errorf("add wrong: %+v", in)
+	}
+	if in := p.At(14); in.Dst != R12 || in.Src1 != RAX || in.Imm != 8 {
+		t.Errorf("loadb wrong: %+v", in)
+	}
+	if in := p.At(18); in.Src1 != RAX || in.Imm != 8 || in.Src2 != RBX {
+		t.Errorf("store wrong: %+v", in)
+	}
+}

@@ -1,0 +1,284 @@
+// Package isa defines the x86-flavoured micro-operation instruction set used
+// by the pipeline simulator. Instructions are structured values rather than
+// encoded bytes, but every instruction still has a 64-bit virtual address so
+// that instruction-side structures (ITLB, icache, DSB) behave realistically.
+package isa
+
+import "fmt"
+
+// Reg names an architectural general-purpose register.
+type Reg uint8
+
+// Architectural registers. RZERO always reads as zero and ignores writes,
+// which keeps instruction constructors regular.
+const (
+	RZERO Reg = iota
+	RAX
+	RBX
+	RCX
+	RDX
+	RSI
+	RDI
+	RBP
+	RSP
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumRegs
+)
+
+var regNames = [...]string{
+	"rzero", "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Cond is a Jcc condition code.
+type Cond uint8
+
+// Condition codes implemented by the simulator. The paper demonstrates the
+// TET effect with JE/JZ, JNE/JNZ, and JC; the remaining codes exist so the
+// property holds for the whole conditional-jump family.
+const (
+	CondE  Cond = iota // ZF=1 (JE/JZ)
+	CondNE             // ZF=0 (JNE/JNZ)
+	CondC              // CF=1 (JC/JB)
+	CondNC             // CF=0 (JNC/JAE)
+	CondS              // SF=1 (JS)
+	CondNS             // SF=0 (JNS)
+	CondLE             // ZF=1 or SF!=OF (JLE)
+	CondG              // ZF=0 and SF=OF (JG)
+)
+
+var condNames = [...]string{"e", "ne", "c", "nc", "s", "ns", "le", "g"}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Flags is the architectural flags register (subset).
+type Flags struct {
+	ZF bool
+	CF bool
+	SF bool
+	OF bool
+}
+
+// Eval reports whether the condition holds under f.
+func (c Cond) Eval(f Flags) bool {
+	switch c {
+	case CondE:
+		return f.ZF
+	case CondNE:
+		return !f.ZF
+	case CondC:
+		return f.CF
+	case CondNC:
+		return !f.CF
+	case CondS:
+		return f.SF
+	case CondNS:
+		return !f.SF
+	case CondLE:
+		return f.ZF || f.SF != f.OF
+	case CondG:
+		return !f.ZF && f.SF == f.OF
+	}
+	return false
+}
+
+// Op is an operation code.
+type Op uint8
+
+const (
+	OpNop Op = iota
+	OpMovImm
+	OpMov
+	OpAdd
+	OpAddImm
+	OpSub
+	OpSubImm
+	OpAnd
+	OpAndImm
+	OpOr
+	OpXor
+	OpShlImm
+	OpShrImm
+	OpImul
+	OpLoad    // Dst = mem[Src1+Imm]
+	OpStore   // mem[Src1+Imm] = Src2
+	OpCmp     // flags from Src1 - Src2
+	OpCmpImm  // flags from Src1 - Imm
+	OpJmp     // unconditional, Target
+	OpJcc     // conditional, Cond + Target
+	OpCall    // push return address, jump to Target
+	OpRet     // pop return address, jump
+	OpRdtsc   // Dst = cycle counter
+	OpClflush // flush cache line at Src1+Imm
+	OpPrefetch
+	OpMfence
+	OpLfence
+	OpSfence
+	OpXbegin // begin transaction; abort handler at Target
+	OpXend
+	OpHalt
+	numOps
+)
+
+var opNames = [...]string{
+	"nop", "movimm", "mov", "add", "addimm", "sub", "subimm", "and",
+	"andimm", "or", "xor", "shlimm", "shrimm", "imul", "load", "store",
+	"cmp", "cmpimm", "jmp", "jcc", "call", "ret", "rdtsc", "clflush",
+	"prefetch", "mfence", "lfence", "sfence", "xbegin", "xend", "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// InstBytes is the nominal encoded size of every instruction; instruction i
+// of a program based at B lives at virtual address B + i*InstBytes.
+const InstBytes = 4
+
+// Inst is one instruction.
+type Inst struct {
+	Op     Op
+	Dst    Reg
+	Src1   Reg
+	Src2   Reg
+	Imm    int64
+	Cond   Cond
+	Target int // instruction index for Jmp/Jcc/Call/Xbegin
+	Size   int // access size in bytes for Load/Store (1..8)
+
+	label string // unresolved branch target, consumed by Assemble
+}
+
+// IsBranch reports whether the instruction redirects control flow.
+func (in Inst) IsBranch() bool {
+	switch in.Op {
+	case OpJmp, OpJcc, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsMemRead reports whether the instruction reads data memory.
+func (in Inst) IsMemRead() bool { return in.Op == OpLoad }
+
+// IsFence reports whether the instruction serialises execution.
+func (in Inst) IsFence() bool {
+	switch in.Op {
+	case OpMfence, OpLfence, OpSfence:
+		return true
+	}
+	return false
+}
+
+// ReadsFlags reports whether the instruction consumes RFLAGS.
+func (in Inst) ReadsFlags() bool { return in.Op == OpJcc }
+
+// WritesFlags reports whether the instruction produces RFLAGS.
+func (in Inst) WritesFlags() bool {
+	switch in.Op {
+	case OpCmp, OpCmpImm, OpAdd, OpSub, OpAnd, OpOr, OpXor, OpAddImm, OpSubImm, OpAndImm:
+		return true
+	}
+	return false
+}
+
+// SrcRegs returns the architectural source registers read by the instruction.
+func (in Inst) SrcRegs() []Reg {
+	switch in.Op {
+	case OpNop, OpMovImm, OpJmp, OpCall, OpRdtsc, OpMfence, OpLfence,
+		OpSfence, OpXbegin, OpXend, OpHalt, OpJcc:
+		return nil
+	case OpMov, OpAddImm, OpSubImm, OpAndImm, OpShlImm, OpShrImm,
+		OpLoad, OpCmpImm, OpClflush, OpPrefetch:
+		return []Reg{in.Src1}
+	case OpStore:
+		return []Reg{in.Src1, in.Src2}
+	case OpRet:
+		return []Reg{RSP}
+	default: // three-operand ALU
+		return []Reg{in.Src1, in.Src2}
+	}
+}
+
+// DstReg returns the architectural destination register, or RZERO if none.
+func (in Inst) DstReg() Reg {
+	switch in.Op {
+	case OpMovImm, OpMov, OpAdd, OpAddImm, OpSub, OpSubImm, OpAnd,
+		OpAndImm, OpOr, OpXor, OpShlImm, OpShrImm, OpImul, OpLoad, OpRdtsc:
+		return in.Dst
+	case OpCall, OpRet:
+		return RSP
+	}
+	return RZERO
+}
+
+func (in Inst) String() string {
+	switch in.Op {
+	case OpMovImm:
+		return fmt.Sprintf("mov %s, %#x", in.Dst, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("load%d %s, [%s%+d]", in.Size, in.Dst, in.Src1, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store%d [%s%+d], %s", in.Size, in.Src1, in.Imm, in.Src2)
+	case OpJcc:
+		return fmt.Sprintf("j%s %d", in.Cond, in.Target)
+	case OpJmp, OpCall, OpXbegin:
+		return fmt.Sprintf("%s %d", in.Op, in.Target)
+	case OpCmpImm:
+		return fmt.Sprintf("cmp %s, %#x", in.Src1, in.Imm)
+	case OpCmp:
+		return fmt.Sprintf("cmp %s, %s", in.Src1, in.Src2)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Program is an assembled instruction sequence with a code base address.
+type Program struct {
+	Base  uint64
+	Insts []Inst
+}
+
+// Len returns the number of instructions.
+func (p *Program) Len() int { return len(p.Insts) }
+
+// VA returns the virtual address of instruction idx.
+func (p *Program) VA(idx int) uint64 { return p.Base + uint64(idx)*InstBytes }
+
+// Index returns the instruction index holding virtual address va, or -1.
+func (p *Program) Index(va uint64) int {
+	if va < p.Base {
+		return -1
+	}
+	idx := int((va - p.Base) / InstBytes)
+	if idx >= len(p.Insts) {
+		return -1
+	}
+	return idx
+}
+
+// At returns instruction idx; it panics on out-of-range indices because the
+// frontend must bound-check before fetching.
+func (p *Program) At(idx int) Inst { return p.Insts[idx] }

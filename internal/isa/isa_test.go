@@ -1,0 +1,224 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		c    Cond
+		f    Flags
+		want bool
+	}{
+		{CondE, Flags{ZF: true}, true},
+		{CondE, Flags{}, false},
+		{CondNE, Flags{}, true},
+		{CondNE, Flags{ZF: true}, false},
+		{CondC, Flags{CF: true}, true},
+		{CondC, Flags{}, false},
+		{CondNC, Flags{}, true},
+		{CondS, Flags{SF: true}, true},
+		{CondNS, Flags{SF: true}, false},
+		{CondLE, Flags{ZF: true}, true},
+		{CondLE, Flags{SF: true, OF: false}, true},
+		{CondLE, Flags{SF: true, OF: true}, false},
+		{CondG, Flags{}, true},
+		{CondG, Flags{ZF: true}, false},
+		{CondG, Flags{SF: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.c.Eval(c.f); got != c.want {
+			t.Errorf("Cond %v Eval(%+v) = %v, want %v", c.c, c.f, got, c.want)
+		}
+	}
+}
+
+func TestCondComplementarity(t *testing.T) {
+	// E/NE, C/NC, S/NS, LE/G must be complementary for every flag state.
+	pairs := [][2]Cond{{CondE, CondNE}, {CondC, CondNC}, {CondS, CondNS}, {CondLE, CondG}}
+	f := func(zf, cf, sf, of bool) bool {
+		fl := Flags{ZF: zf, CF: cf, SF: sf, OF: of}
+		for _, p := range pairs {
+			if p[0].Eval(fl) == p[1].Eval(fl) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderLabelResolution(t *testing.T) {
+	b := NewBuilder(0x400000)
+	b.MovImm(RAX, 1)
+	b.Label("loop")
+	b.SubImm(RAX, RAX, 1)
+	b.Jcc(CondNE, "loop")
+	b.Jmp("end")
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", p.Len())
+	}
+	if got := p.Insts[2].Target; got != 1 {
+		t.Errorf("jcc target = %d, want 1", got)
+	}
+	if got := p.Insts[3].Target; got != 5 {
+		t.Errorf("jmp target = %d, want 5", got)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.Jmp("missing")
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("Assemble with undefined label: want error, got nil")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder(0)
+	b.Label("x").Nop().Label("x").Nop()
+	if _, err := b.Assemble(); err == nil {
+		t.Fatal("Assemble with duplicate label: want error, got nil")
+	}
+}
+
+func TestProgramAddressing(t *testing.T) {
+	p := NewBuilder(0x1000).Nop().Nop().Nop().MustAssemble()
+	if va := p.VA(2); va != 0x1000+2*InstBytes {
+		t.Errorf("VA(2) = %#x", va)
+	}
+	if idx := p.Index(0x1000 + InstBytes); idx != 1 {
+		t.Errorf("Index = %d, want 1", idx)
+	}
+	if idx := p.Index(0xfff); idx != -1 {
+		t.Errorf("Index below base = %d, want -1", idx)
+	}
+	if idx := p.Index(0x1000 + 100*InstBytes); idx != -1 {
+		t.Errorf("Index beyond end = %d, want -1", idx)
+	}
+}
+
+func TestProgramVAIndexRoundTrip(t *testing.T) {
+	p := NewBuilder(0x7f0000).NopSled(64).MustAssemble()
+	f := func(i uint8) bool {
+		idx := int(i) % p.Len()
+		return p.Index(p.VA(idx)) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadStoreDefaultSize(t *testing.T) {
+	p := NewBuilder(0).
+		Load(RAX, RBX, 0, 0). // size 0 should default to 8
+		Store(RBX, 0, RAX, 0).
+		MustAssemble()
+	for i, in := range p.Insts {
+		if in.Size != 8 {
+			t.Errorf("inst %d size = %d, want 8", i, in.Size)
+		}
+	}
+}
+
+func TestInstClassification(t *testing.T) {
+	cases := []struct {
+		in      Inst
+		branch  bool
+		memRead bool
+		fence   bool
+		wrFlags bool
+		rdFlags bool
+	}{
+		{Inst{Op: OpJcc}, true, false, false, false, true},
+		{Inst{Op: OpJmp}, true, false, false, false, false},
+		{Inst{Op: OpCall}, true, false, false, false, false},
+		{Inst{Op: OpRet}, true, false, false, false, false},
+		{Inst{Op: OpLoad}, false, true, false, false, false},
+		{Inst{Op: OpMfence}, false, false, true, false, false},
+		{Inst{Op: OpLfence}, false, false, true, false, false},
+		{Inst{Op: OpCmp}, false, false, false, true, false},
+		{Inst{Op: OpCmpImm}, false, false, false, true, false},
+		{Inst{Op: OpSub}, false, false, false, true, false},
+		{Inst{Op: OpNop}, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.in.IsBranch(); got != c.branch {
+			t.Errorf("%v IsBranch = %v", c.in.Op, got)
+		}
+		if got := c.in.IsMemRead(); got != c.memRead {
+			t.Errorf("%v IsMemRead = %v", c.in.Op, got)
+		}
+		if got := c.in.IsFence(); got != c.fence {
+			t.Errorf("%v IsFence = %v", c.in.Op, got)
+		}
+		if got := c.in.WritesFlags(); got != c.wrFlags {
+			t.Errorf("%v WritesFlags = %v", c.in.Op, got)
+		}
+		if got := c.in.ReadsFlags(); got != c.rdFlags {
+			t.Errorf("%v ReadsFlags = %v", c.in.Op, got)
+		}
+	}
+}
+
+func TestSrcDstRegs(t *testing.T) {
+	in := Inst{Op: OpStore, Src1: RBX, Src2: RCX}
+	srcs := in.SrcRegs()
+	if len(srcs) != 2 || srcs[0] != RBX || srcs[1] != RCX {
+		t.Errorf("store SrcRegs = %v", srcs)
+	}
+	if in.DstReg() != RZERO {
+		t.Errorf("store DstReg = %v, want rzero", in.DstReg())
+	}
+	ld := Inst{Op: OpLoad, Dst: RAX, Src1: RBX}
+	if ld.DstReg() != RAX {
+		t.Errorf("load DstReg = %v", ld.DstReg())
+	}
+	call := Inst{Op: OpCall}
+	if call.DstReg() != RSP {
+		t.Errorf("call DstReg = %v, want rsp", call.DstReg())
+	}
+	ret := Inst{Op: OpRet}
+	if got := ret.SrcRegs(); len(got) != 1 || got[0] != RSP {
+		t.Errorf("ret SrcRegs = %v, want [rsp]", got)
+	}
+}
+
+func TestStringerCoverage(t *testing.T) {
+	// Stringers must not return empty strings for any defined value.
+	for o := Op(0); o < numOps; o++ {
+		if o.String() == "" {
+			t.Errorf("Op(%d).String() empty", o)
+		}
+	}
+	for r := RZERO; r < NumRegs; r++ {
+		if r.String() == "" {
+			t.Errorf("Reg(%d).String() empty", r)
+		}
+	}
+	insts := []Inst{
+		{Op: OpMovImm, Dst: RAX, Imm: 5},
+		{Op: OpLoad, Dst: RAX, Src1: RBX, Imm: -8, Size: 1},
+		{Op: OpStore, Src1: RBX, Src2: RCX, Size: 8},
+		{Op: OpJcc, Cond: CondNE, Target: 3},
+		{Op: OpJmp, Target: 0},
+		{Op: OpCmp, Src1: RAX, Src2: RBX},
+		{Op: OpCmpImm, Src1: RAX, Imm: 1},
+		{Op: OpNop},
+	}
+	for _, in := range insts {
+		if in.String() == "" {
+			t.Errorf("Inst %v String() empty", in.Op)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package kernel
+
+import (
+	"fmt"
+
+	"whisper/internal/isa"
+)
+
+// This file implements the *mechanical* TLB eviction primitive: an actual
+// attacker program that cycles the DTLB's 4 KiB partition by capacity,
+// touching one resident page per (set, way). Note what it inherently cannot
+// do: 2 MiB-partition entries (kernel image pages) survive a 4 KiB sweep —
+// the very asymmetry the FLARE bypass exploits, here demonstrated by
+// construction. EvictDTLB4K models this sweep analytically (state change +
+// Skip-accounted cycles) because simulating millions of sweep loads across
+// a 512-slot KASLR scan adds nothing; the tests in evict_test.go show the
+// mechanical and analytic primitives are state-equivalent, which is what
+// justifies the accounting.
+
+// evictProgramVA places the eviction loop's code away from the gadgets.
+const evictProgramVA = UserCodeBase + 0x70000
+
+// EvictionProgram builds the capacity-eviction loop: `rounds` passes over
+// `pages` distinct resident pages (one load each, page stride). 2×64 pages
+// covers a 64-entry 4-way DTLB with LRU replacement.
+func EvictionProgram(pages, rounds int64) (*isa.Program, error) {
+	if pages <= 0 || pages > UserEvictPgs || rounds <= 0 {
+		return nil, fmt.Errorf("kernel: bad eviction geometry %d×%d", pages, rounds)
+	}
+	b := isa.NewBuilder(evictProgramVA)
+	b.MovImm(isa.R12, rounds)
+	b.Label("round")
+	b.MovImm(isa.RBX, UserEvictBase)
+	b.MovImm(isa.R11, pages)
+	b.Label("page")
+	b.LoadQ(isa.RAX, isa.RBX, 0)
+	b.AddImm(isa.RBX, isa.RBX, 4096)
+	b.SubImm(isa.R11, isa.R11, 1)
+	b.CmpImm(isa.R11, 0)
+	b.Jcc(isa.CondNE, "page")
+	b.SubImm(isa.R12, isa.R12, 1)
+	b.CmpImm(isa.R12, 0)
+	b.Jcc(isa.CondNE, "round")
+	b.Halt()
+	return b.Assemble()
+}
+
+// EvictTLBMechanically runs the real eviction program on the attacker's
+// pipeline (clobbering the scratch registers it uses, like any real sweep
+// would) and returns the cycles it consumed.
+func (k *Kernel) EvictTLBMechanically(pages, rounds int64) (uint64, error) {
+	prog, err := EvictionProgram(pages, rounds)
+	if err != nil {
+		return 0, err
+	}
+	res, err := k.m.Pipe.Exec(prog, 10_000_000)
+	if err != nil {
+		return 0, fmt.Errorf("kernel: eviction sweep: %w", err)
+	}
+	return res.Cycles, nil
+}

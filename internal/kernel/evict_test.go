@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"testing"
+
+	"whisper/internal/cpu"
+)
+
+func TestMechanicalEvictionRemovesDTLBEntries(t *testing.T) {
+	k := boot(t, Config{KASLR: true, KPTI: true}, 20)
+	m := k.Machine()
+	// Plant a 4K DTLB entry, as a faulting trampoline probe would on
+	// fill-on-fault hardware.
+	tramp := k.KASLRBase() + TrampolineOffset
+	m.DTLB.Insert(k.UserAS().WalkVA(tramp))
+	if _, ok := m.DTLB.Lookup(tramp); !ok {
+		t.Fatal("entry not planted")
+	}
+	cycles, err := k.EvictTLBMechanically(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.DTLB.Lookup(tramp); ok {
+		t.Fatal("capacity sweep did not evict the 4K entry")
+	}
+	if cycles == 0 {
+		t.Fatal("sweep consumed no time")
+	}
+}
+
+func TestMechanicalSweepSpares2MPartition(t *testing.T) {
+	// The FLARE-bypass asymmetry, by construction: an unprivileged 4 KiB
+	// working-set sweep cannot touch the kernel image's 2 MiB entries.
+	k := boot(t, Config{KASLR: true}, 23)
+	m := k.Machine()
+	m.DTLB.Insert(k.KernelAS().WalkVA(k.KASLRBase())) // 2M huge entry
+	if _, err := k.EvictTLBMechanically(128, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.DTLB.Lookup(k.KASLRBase()); !ok {
+		t.Fatal("4K sweep evicted a 2M entry; partitions broken")
+	}
+}
+
+func TestMechanicalAndAnalyticEvictionAgree(t *testing.T) {
+	// EvictDTLB4K (analytic) and the mechanical sweep must agree on the
+	// observable that matters: planted 4K entries are gone, 2M entries
+	// survive.
+	kA := boot(t, Config{KASLR: true}, 21)
+	kB := boot(t, Config{KASLR: true}, 21)
+	for _, k := range []*Kernel{kA, kB} {
+		m := k.Machine()
+		m.DTLB.Insert(k.KernelAS().WalkVA(k.KASLRBase())) // 2M
+		m.DTLB.Insert(k.UserAS().WalkVA(UserDataBase))    // 4K
+	}
+	kA.EvictDTLB4K()
+	if _, err := kB.EvictTLBMechanically(128, 2); err != nil {
+		t.Fatal(err)
+	}
+	for name, k := range map[string]*Kernel{"analytic": kA, "mechanical": kB} {
+		m := k.Machine()
+		if _, ok := m.DTLB.Lookup(UserDataBase); ok {
+			t.Errorf("%s: 4K entry survived", name)
+		}
+		if _, ok := m.DTLB.Lookup(k.KASLRBase()); !ok {
+			t.Errorf("%s: 2M entry lost", name)
+		}
+	}
+}
+
+func TestEvictionProgramValidation(t *testing.T) {
+	if _, err := EvictionProgram(0, 1); err == nil {
+		t.Error("zero pages accepted")
+	}
+	if _, err := EvictionProgram(UserEvictPgs+1, 1); err == nil {
+		t.Error("oversized working set accepted")
+	}
+	if _, err := EvictionProgram(8, 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestEvictionCostSanity(t *testing.T) {
+	// The analytic Skip cost should be the same order as (or larger than,
+	// since it also models cache eviction) the mechanical sweep's cost.
+	k := boot(t, Config{KASLR: true}, 22)
+	cycles, err := k.EvictTLBMechanically(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles > EvictTLBCost {
+		t.Fatalf("mechanical sweep (%d cycles) costs more than the analytic model (%d)",
+			cycles, EvictTLBCost)
+	}
+	if cycles < 1000 {
+		t.Fatalf("mechanical sweep implausibly cheap: %d cycles", cycles)
+	}
+}
+
+var _ = cpu.I7_7700 // keep the import stable for helpers

@@ -1,0 +1,136 @@
+package mem
+
+import "fmt"
+
+// Cache is one set-associative cache level with true-LRU replacement. It
+// tracks tags only; data is served by Physical so functional correctness
+// never depends on the timing model.
+type Cache struct {
+	name   string
+	nsets  int
+	ways   int
+	shift  uint // log2(LineSize)
+	lines  []cacheLine
+	tick   uint64
+	hits   uint64
+	misses uint64
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	used  uint64 // LRU timestamp
+}
+
+// NewCache builds a cache with the given total size in bytes and
+// associativity. Size must be a multiple of ways*LineSize.
+func NewCache(name string, sizeBytes, ways int) *Cache {
+	if sizeBytes%(ways*LineSize) != 0 {
+		panic(fmt.Sprintf("mem: cache %s size %d not divisible by ways*line", name, sizeBytes))
+	}
+	nsets := sizeBytes / (ways * LineSize)
+	return &Cache{
+		name:  name,
+		nsets: nsets,
+		ways:  ways,
+		shift: 6,
+		lines: make([]cacheLine, nsets*ways),
+	}
+}
+
+func (c *Cache) set(pa uint64) []cacheLine {
+	idx := int((pa >> c.shift) % uint64(c.nsets))
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
+
+func (c *Cache) tag(pa uint64) uint64 { return pa >> c.shift }
+
+// Lookup probes for the line containing pa, updating LRU state and hit/miss
+// counters. It reports whether the line was present.
+func (c *Cache) Lookup(pa uint64) bool {
+	c.tick++
+	tag := c.tag(pa)
+	set := c.set(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains probes without touching LRU or counters (for tests/inspection).
+func (c *Cache) Contains(pa uint64) bool {
+	tag := c.tag(pa)
+	for _, l := range c.set(pa) {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line containing pa, evicting the LRU way if needed. It
+// returns the physical address of the evicted line and whether an eviction
+// of a valid line occurred.
+func (c *Cache) Fill(pa uint64) (evicted uint64, hadVictim bool) {
+	c.tick++
+	tag := c.tag(pa)
+	set := c.set(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].used = c.tick
+			return 0, false // already present
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = cacheLine{tag: tag, valid: true, used: c.tick}
+			return 0, false
+		}
+	}
+	victim := 0
+	for i := range set {
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	evicted = set[victim].tag << c.shift
+	set[victim] = cacheLine{tag: tag, valid: true, used: c.tick}
+	return evicted, true
+}
+
+// Evict removes the line containing pa if present, reporting whether it was.
+func (c *Cache) Evict(pa uint64) bool {
+	tag := c.tag(pa)
+	set := c.set(pa)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll invalidates every line.
+func (c *Cache) FlushAll() {
+	for i := range c.lines {
+		c.lines[i].valid = false
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Name returns the cache's name (e.g. "L1D").
+func (c *Cache) Name() string { return c.name }
+
+// Sets and Ways expose geometry for eviction-set construction.
+func (c *Cache) Sets() int { return c.nsets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }

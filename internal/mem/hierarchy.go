@@ -1,0 +1,170 @@
+package mem
+
+// Latencies gives the load-to-use latency (in cycles) of each level of the
+// hierarchy. The defaults approximate a Skylake-class client part.
+type Latencies struct {
+	L1   uint64
+	L2   uint64
+	L3   uint64
+	DRAM uint64
+}
+
+// DefaultLatencies returns Skylake-class latencies.
+func DefaultLatencies() Latencies {
+	return Latencies{L1: 4, L2: 12, L3: 42, DRAM: 220}
+}
+
+// HierarchyConfig sizes the cache hierarchy.
+type HierarchyConfig struct {
+	L1DSize, L1DWays int
+	L1ISize, L1IWays int
+	L2Size, L2Ways   int
+	L3Size, L3Ways   int
+	Lat              Latencies
+}
+
+// DefaultHierarchyConfig returns a Skylake-class configuration.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1DSize: 32 << 10, L1DWays: 8,
+		L1ISize: 32 << 10, L1IWays: 8,
+		L2Size: 256 << 10, L2Ways: 4,
+		L3Size: 8 << 20, L3Ways: 16,
+		Lat: DefaultLatencies(),
+	}
+}
+
+// Level identifies where an access hit.
+type Level int
+
+// Hit levels, from fastest to slowest.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelDRAM
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	}
+	return "DRAM"
+}
+
+// Hierarchy is the full cache hierarchy over a Physical memory.
+type Hierarchy struct {
+	Phys *Physical
+	L1D  *Cache
+	L1I  *Cache
+	L2   *Cache
+	L3   *Cache
+	lat  Latencies
+}
+
+// NewHierarchy builds a hierarchy with the given configuration.
+func NewHierarchy(phys *Physical, cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		Phys: phys,
+		L1D:  NewCache("L1D", cfg.L1DSize, cfg.L1DWays),
+		L1I:  NewCache("L1I", cfg.L1ISize, cfg.L1IWays),
+		L2:   NewCache("L2", cfg.L2Size, cfg.L2Ways),
+		L3:   NewCache("L3", cfg.L3Size, cfg.L3Ways),
+		lat:  cfg.Lat,
+	}
+}
+
+// Latency returns the configured latency of a level.
+func (h *Hierarchy) Latency(l Level) uint64 {
+	switch l {
+	case LevelL1:
+		return h.lat.L1
+	case LevelL2:
+		return h.lat.L2
+	case LevelL3:
+		return h.lat.L3
+	}
+	return h.lat.DRAM
+}
+
+// AccessData simulates a data-side access to physical address pa, filling
+// lines on the way in, and returns the latency and the level that served it.
+func (h *Hierarchy) AccessData(pa uint64) (uint64, Level) {
+	return h.access(h.L1D, pa)
+}
+
+// AccessInst simulates an instruction-side access.
+func (h *Hierarchy) AccessInst(pa uint64) (uint64, Level) {
+	return h.access(h.L1I, pa)
+}
+
+func (h *Hierarchy) access(l1 *Cache, pa uint64) (uint64, Level) {
+	if l1.Lookup(pa) {
+		return h.lat.L1, LevelL1
+	}
+	if h.L2.Lookup(pa) {
+		l1.Fill(pa)
+		return h.lat.L2, LevelL2
+	}
+	if h.L3.Lookup(pa) {
+		h.L2.Fill(pa)
+		l1.Fill(pa)
+		return h.lat.L3, LevelL3
+	}
+	h.L3.Fill(pa)
+	h.L2.Fill(pa)
+	l1.Fill(pa)
+	return h.lat.DRAM, LevelDRAM
+}
+
+// AccessDataInvisible services a data access without installing any new
+// cache state: hits are served normally (without LRU update), misses are
+// charged the full latency of the level that would serve them but fill
+// nothing. This is the InvisiSpec-style "invisible speculation" service mode
+// the §6.1 mitigation study uses.
+func (h *Hierarchy) AccessDataInvisible(pa uint64) (uint64, Level) {
+	lvl := h.Probe(pa)
+	return h.Latency(lvl), lvl
+}
+
+// Probe reports the level pa would hit without perturbing any state.
+func (h *Hierarchy) Probe(pa uint64) Level {
+	switch {
+	case h.L1D.Contains(pa):
+		return LevelL1
+	case h.L2.Contains(pa):
+		return LevelL2
+	case h.L3.Contains(pa):
+		return LevelL3
+	}
+	return LevelDRAM
+}
+
+// Flush removes the line containing pa from every level (clflush).
+func (h *Hierarchy) Flush(pa uint64) {
+	h.L1D.Evict(pa)
+	h.L1I.Evict(pa)
+	h.L2.Evict(pa)
+	h.L3.Evict(pa)
+}
+
+// FlushAll empties every cache (used when modelling context switches).
+func (h *Hierarchy) FlushAll() {
+	h.L1D.FlushAll()
+	h.L1I.FlushAll()
+	h.L2.FlushAll()
+	h.L3.FlushAll()
+}
+
+// Prefetch pulls the line containing pa into every data level without
+// reporting a latency to the requester (software prefetch semantics).
+func (h *Hierarchy) Prefetch(pa uint64) {
+	h.L3.Fill(pa)
+	h.L2.Fill(pa)
+	h.L1D.Fill(pa)
+}

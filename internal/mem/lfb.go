@@ -1,0 +1,55 @@
+package mem
+
+// LFB models the line fill buffer. Real LFBs track in-flight cache line
+// transfers; Zombieload exploits the fact that entries are not scrubbed
+// between uses, so a faulting load serviced by a microcode assist can
+// transiently forward *stale* data belonging to another context. We model
+// exactly that: a FIFO of entries carrying the last data value that moved
+// through them, readable by the pipeline when a vulnerable CPU performs an
+// assisted faulting load.
+type LFB struct {
+	entries []lfbEntry
+	next    int
+	filled  uint64
+}
+
+type lfbEntry struct {
+	pa    uint64
+	data  uint64
+	valid bool
+}
+
+// NewLFB returns a line fill buffer with n entries (10 on Skylake).
+func NewLFB(n int) *LFB {
+	return &LFB{entries: make([]lfbEntry, n)}
+}
+
+// Record notes that a line transfer for pa carrying data moved through the
+// buffer, overwriting the oldest entry (round-robin, as allocation is).
+func (l *LFB) Record(pa uint64, data uint64) {
+	l.entries[l.next] = lfbEntry{pa: pa, data: data, valid: true}
+	l.next = (l.next + 1) % len(l.entries)
+	l.filled++
+}
+
+// StaleData returns the most recently recorded entry's data — what an
+// MDS-style assisted load would transiently forward — and whether any entry
+// is valid.
+func (l *LFB) StaleData() (uint64, bool) {
+	idx := (l.next - 1 + len(l.entries)) % len(l.entries)
+	e := l.entries[idx]
+	return e.data, e.valid
+}
+
+// Scrub clears all entries (VERW-style mitigation).
+func (l *LFB) Scrub() {
+	for i := range l.entries {
+		l.entries[i] = lfbEntry{}
+	}
+}
+
+// Size returns the number of entries.
+func (l *LFB) Size() int { return len(l.entries) }
+
+// Fills returns the cumulative number of Record calls.
+func (l *LFB) Fills() uint64 { return l.filled }

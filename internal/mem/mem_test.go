@@ -1,0 +1,315 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysicalReadWriteRoundTrip(t *testing.T) {
+	p := NewPhysical()
+	f := func(pa uint64, v uint64, szSel uint8) bool {
+		size := 1 + int(szSel)%8
+		pa %= 1 << 40
+		p.Write(pa, size, v)
+		got := p.Read(pa, size)
+		mask := uint64(1)<<(8*size) - 1
+		if size == 8 {
+			mask = ^uint64(0)
+		}
+		return got == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhysicalUnbackedReadsZero(t *testing.T) {
+	p := NewPhysical()
+	if v := p.Read(0xdeadbeef000, 8); v != 0 {
+		t.Errorf("unbacked read = %#x, want 0", v)
+	}
+	if p.PageCount() != 0 {
+		t.Errorf("read allocated pages: %d", p.PageCount())
+	}
+}
+
+func TestPhysicalCrossPageAccess(t *testing.T) {
+	p := NewPhysical()
+	pa := uint64(PageSize - 4)
+	p.Write(pa, 8, 0x1122334455667788)
+	if got := p.Read(pa, 8); got != 0x1122334455667788 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+	if p.PageCount() != 2 {
+		t.Errorf("PageCount = %d, want 2", p.PageCount())
+	}
+}
+
+func TestPhysicalBytes(t *testing.T) {
+	p := NewPhysical()
+	data := []byte("whisper secret")
+	p.StoreBytes(0x1000, data)
+	if got := string(p.LoadBytes(0x1000, len(data))); got != string(data) {
+		t.Errorf("LoadBytes = %q", got)
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache("test", 4096, 4)
+	pa := uint64(0x12340)
+	if c.Lookup(pa) {
+		t.Fatal("cold lookup hit")
+	}
+	c.Fill(pa)
+	if !c.Lookup(pa) {
+		t.Fatal("lookup after fill missed")
+	}
+	// Same line, different offset within the line, must also hit.
+	if !c.Lookup(pa + LineSize - 1) {
+		t.Fatal("same-line offset missed")
+	}
+	if c.Lookup(pa + LineSize) {
+		t.Fatal("adjacent line hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache("test", 2*LineSize*4, 2) // 4 sets, 2 ways
+	setStride := uint64(c.Sets() * LineSize)
+	a, b, d := uint64(0), setStride, 2*setStride // all map to set 0
+	c.Fill(a)
+	c.Fill(b)
+	c.Lookup(a) // make b the LRU way
+	if evicted, had := c.Fill(d); !had || evicted != b {
+		t.Fatalf("Fill evicted %#x (had=%v), want %#x", evicted, had, b)
+	}
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatalf("post-eviction contents wrong: a=%v b=%v d=%v",
+			c.Contains(a), c.Contains(b), c.Contains(d))
+	}
+}
+
+func TestCacheFillIdempotent(t *testing.T) {
+	c := NewCache("test", 4096, 4)
+	c.Fill(0x40)
+	if _, had := c.Fill(0x40); had {
+		t.Fatal("refill of present line evicted something")
+	}
+}
+
+func TestCacheEvictAndFlush(t *testing.T) {
+	c := NewCache("test", 4096, 4)
+	c.Fill(0x80)
+	if !c.Evict(0x80) {
+		t.Fatal("Evict of present line reported false")
+	}
+	if c.Evict(0x80) {
+		t.Fatal("Evict of absent line reported true")
+	}
+	c.Fill(0x80)
+	c.Fill(0x1080)
+	c.FlushAll()
+	if c.Contains(0x80) || c.Contains(0x1080) {
+		t.Fatal("FlushAll left lines valid")
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache("test", 4096, 4)
+	c.Lookup(0) // miss
+	c.Fill(0)
+	c.Lookup(0) // hit
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("Stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCache with bad geometry did not panic")
+		}
+	}()
+	NewCache("bad", 1000, 3)
+}
+
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	pa := uint64(0x5000)
+	lat1, lvl1 := h.AccessData(pa)
+	if lvl1 != LevelDRAM {
+		t.Fatalf("cold access level = %v", lvl1)
+	}
+	lat2, lvl2 := h.AccessData(pa)
+	if lvl2 != LevelL1 {
+		t.Fatalf("warm access level = %v", lvl2)
+	}
+	if lat2 >= lat1 {
+		t.Fatalf("warm latency %d >= cold latency %d", lat2, lat1)
+	}
+}
+
+func TestHierarchyFlushForcesDRAM(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	pa := uint64(0x9000)
+	h.AccessData(pa)
+	h.Flush(pa)
+	if _, lvl := h.AccessData(pa); lvl != LevelDRAM {
+		t.Fatalf("post-flush level = %v, want DRAM", lvl)
+	}
+}
+
+func TestHierarchyL2Refill(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	pa := uint64(0x40)
+	h.AccessData(pa)
+	h.L1D.Evict(pa) // still in L2/L3
+	_, lvl := h.AccessData(pa)
+	if lvl != LevelL2 {
+		t.Fatalf("level after L1 eviction = %v, want L2", lvl)
+	}
+	if !h.L1D.Contains(pa) {
+		t.Fatal("L2 hit did not refill L1")
+	}
+}
+
+func TestHierarchyInstVsDataSplit(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	pa := uint64(0x7000)
+	h.AccessInst(pa)
+	if h.L1D.Contains(pa) {
+		t.Fatal("inst access filled L1D")
+	}
+	if !h.L1I.Contains(pa) {
+		t.Fatal("inst access did not fill L1I")
+	}
+	// Second inst access should be L1.
+	if _, lvl := h.AccessInst(pa); lvl != LevelL1 {
+		t.Fatalf("warm inst access = %v", lvl)
+	}
+}
+
+func TestHierarchyPrefetch(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	pa := uint64(0x11000)
+	h.Prefetch(pa)
+	if _, lvl := h.AccessData(pa); lvl != LevelL1 {
+		t.Fatalf("access after prefetch = %v, want L1", lvl)
+	}
+}
+
+func TestHierarchyProbeNonDestructive(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	pa := uint64(0x13000)
+	if lvl := h.Probe(pa); lvl != LevelDRAM {
+		t.Fatalf("cold probe = %v", lvl)
+	}
+	// Probe must not have filled anything.
+	if h.L1D.Contains(pa) || h.L2.Contains(pa) || h.L3.Contains(pa) {
+		t.Fatal("Probe perturbed cache state")
+	}
+	h.AccessData(pa)
+	if lvl := h.Probe(pa); lvl != LevelL1 {
+		t.Fatalf("warm probe = %v", lvl)
+	}
+}
+
+func TestLFBStaleDataRetention(t *testing.T) {
+	l := NewLFB(10)
+	if _, ok := l.StaleData(); ok {
+		t.Fatal("empty LFB returned stale data")
+	}
+	l.Record(0x1000, 0x53) // 'S'
+	got, ok := l.StaleData()
+	if !ok || got != 0x53 {
+		t.Fatalf("StaleData = (%#x, %v), want (0x53, true)", got, ok)
+	}
+	l.Record(0x2000, 0x41)
+	if got, _ := l.StaleData(); got != 0x41 {
+		t.Fatalf("StaleData after second record = %#x, want 0x41", got)
+	}
+}
+
+func TestLFBRoundRobinAndScrub(t *testing.T) {
+	l := NewLFB(2)
+	for i := uint64(0); i < 5; i++ {
+		l.Record(i<<12, i)
+	}
+	if got, _ := l.StaleData(); got != 4 {
+		t.Fatalf("StaleData = %d, want 4", got)
+	}
+	if l.Fills() != 5 {
+		t.Fatalf("Fills = %d", l.Fills())
+	}
+	l.Scrub()
+	if _, ok := l.StaleData(); ok {
+		t.Fatal("scrubbed LFB still returns stale data")
+	}
+}
+
+func TestAccessorsAndStringers(t *testing.T) {
+	c := NewCache("L1D", 4096, 4)
+	if c.Name() != "L1D" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	if c.Ways() != 4 {
+		t.Errorf("Ways = %d", c.Ways())
+	}
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	for lvl, want := range map[Level]uint64{LevelL1: 4, LevelL2: 12, LevelL3: 42, LevelDRAM: 220} {
+		if got := h.Latency(lvl); got != want {
+			t.Errorf("Latency(%v) = %d, want %d", lvl, got, want)
+		}
+	}
+	for _, lvl := range []Level{LevelL1, LevelL2, LevelL3, LevelDRAM} {
+		if lvl.String() == "" {
+			t.Errorf("Level(%d) has no name", lvl)
+		}
+	}
+	p := NewPhysical()
+	p.StoreByte(0, 1)
+	if p.String() == "" {
+		t.Error("Physical String empty")
+	}
+	if NewLFB(10).Size() != 10 {
+		t.Error("LFB Size wrong")
+	}
+}
+
+func TestHierarchyFlushAll(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	h.AccessData(0x1000)
+	h.AccessInst(0x2000)
+	h.FlushAll()
+	if h.Probe(0x1000) != LevelDRAM {
+		t.Error("FlushAll left data lines")
+	}
+	if h.L1I.Contains(0x2000) {
+		t.Error("FlushAll left inst lines")
+	}
+}
+
+func TestAccessDataInvisible(t *testing.T) {
+	h := NewHierarchy(NewPhysical(), DefaultHierarchyConfig())
+	pa := uint64(0x3000)
+	lat, lvl := h.AccessDataInvisible(pa)
+	if lvl != LevelDRAM || lat != h.Latency(LevelDRAM) {
+		t.Fatalf("cold invisible access = (%d, %v)", lat, lvl)
+	}
+	// Invisible access must not have filled anything.
+	if h.Probe(pa) != LevelDRAM {
+		t.Fatal("invisible access installed cache state")
+	}
+	// After a real access, the invisible one sees (and charges) the hit
+	// level — L2 and L3 probes included.
+	h.AccessData(pa)
+	h.L1D.Evict(pa)
+	if _, lvl := h.AccessDataInvisible(pa); lvl != LevelL2 {
+		t.Fatalf("invisible L2 probe = %v", lvl)
+	}
+	h.L2.Evict(pa)
+	if _, lvl := h.AccessDataInvisible(pa); lvl != LevelL3 {
+		t.Fatalf("invisible L3 probe = %v", lvl)
+	}
+}

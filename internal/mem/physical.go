@@ -1,0 +1,86 @@
+// Package mem implements the simulated memory subsystem: sparse physical
+// memory, a set-associative write-back cache hierarchy (L1D/L1I/L2/LLC), and
+// the line fill buffer whose stale-data retention is the Zombieload
+// substrate. Caches model timing and presence only; data always lives in
+// Physical, which keeps the functional and timing models independent.
+package mem
+
+import "fmt"
+
+// PageSize is the smallest physical allocation unit.
+const PageSize = 4096
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Physical is a sparse 64-bit physical address space.
+type Physical struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewPhysical returns an empty physical memory.
+func NewPhysical() *Physical {
+	return &Physical{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (p *Physical) page(pa uint64, create bool) *[PageSize]byte {
+	key := pa / PageSize
+	pg := p.pages[key]
+	if pg == nil && create {
+		pg = new([PageSize]byte)
+		p.pages[key] = pg
+	}
+	return pg
+}
+
+// LoadByte reads one byte; unbacked memory reads as zero.
+func (p *Physical) LoadByte(pa uint64) byte {
+	if pg := p.page(pa, false); pg != nil {
+		return pg[pa%PageSize]
+	}
+	return 0
+}
+
+// StoreByte writes one byte, allocating the backing page if needed.
+func (p *Physical) StoreByte(pa uint64, v byte) {
+	p.page(pa, true)[pa%PageSize] = v
+}
+
+// Read reads a little-endian value of size bytes (1..8).
+func (p *Physical) Read(pa uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(p.LoadByte(pa+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write writes a little-endian value of size bytes (1..8).
+func (p *Physical) Write(pa uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		p.StoreByte(pa+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// LoadBytes copies n bytes starting at pa.
+func (p *Physical) LoadBytes(pa uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = p.LoadByte(pa + uint64(i))
+	}
+	return out
+}
+
+// StoreBytes copies b into memory starting at pa.
+func (p *Physical) StoreBytes(pa uint64, b []byte) {
+	for i, v := range b {
+		p.StoreByte(pa+uint64(i), v)
+	}
+}
+
+// PageCount returns the number of backed pages (for tests and accounting).
+func (p *Physical) PageCount() int { return len(p.pages) }
+
+func (p *Physical) String() string {
+	return fmt.Sprintf("physical{%d pages}", len(p.pages))
+}

@@ -1,0 +1,274 @@
+// Package paging implements x86-64 4-level page tables, materialised in the
+// simulated physical memory so that page walks are real memory traffic: the
+// walker reports the physical address of every PTE it reads, and the pipeline
+// charges those reads to the cache hierarchy. This is what makes the
+// mapped/unmapped timing asymmetry of TET-KASLR emerge rather than being
+// scripted.
+package paging
+
+import (
+	"fmt"
+
+	"whisper/internal/mem"
+)
+
+// Page table entry flag bits (x86-64 layout).
+const (
+	FlagP  uint64 = 1 << 0  // present
+	FlagW  uint64 = 1 << 1  // writable
+	FlagU  uint64 = 1 << 2  // user-accessible
+	FlagPS uint64 = 1 << 7  // page size (2 MiB when set at PD level)
+	FlagG  uint64 = 1 << 8  // global (survives address-space switch)
+	FlagNX uint64 = 1 << 63 // no-execute
+)
+
+const (
+	addrMask = uint64(0x000ffffffffff000)
+	// PageSize4K and PageSize2M are the supported page sizes.
+	PageSize4K = 4096
+	PageSize2M = 2 << 20
+	entryBytes = 8
+	numEntries = 512
+)
+
+// FrameAllocator hands out physical frames with a bump pointer.
+type FrameAllocator struct {
+	next uint64
+}
+
+// NewFrameAllocator returns an allocator starting at base (page-aligned).
+func NewFrameAllocator(base uint64) *FrameAllocator {
+	if base%PageSize4K != 0 {
+		panic("paging: allocator base not page-aligned")
+	}
+	return &FrameAllocator{next: base}
+}
+
+// Alloc4K returns a fresh 4 KiB-aligned frame.
+func (a *FrameAllocator) Alloc4K() uint64 {
+	pa := a.next
+	a.next += PageSize4K
+	return pa
+}
+
+// Alloc2M returns a fresh 2 MiB-aligned frame.
+func (a *FrameAllocator) Alloc2M() uint64 {
+	if rem := a.next % PageSize2M; rem != 0 {
+		a.next += PageSize2M - rem
+	}
+	pa := a.next
+	a.next += PageSize2M
+	return pa
+}
+
+// Next exposes the bump pointer (tests and accounting).
+func (a *FrameAllocator) Next() uint64 { return a.next }
+
+// AddressSpace is one page-table tree rooted at a PML4 frame.
+type AddressSpace struct {
+	phys  *mem.Physical
+	alloc *FrameAllocator
+	root  uint64
+}
+
+// NewAddressSpace allocates an empty PML4 in phys.
+func NewAddressSpace(phys *mem.Physical, alloc *FrameAllocator) *AddressSpace {
+	return &AddressSpace{phys: phys, alloc: alloc, root: alloc.Alloc4K()}
+}
+
+// Root returns the physical address of the PML4 (the CR3 value).
+func (as *AddressSpace) Root() uint64 { return as.root }
+
+// Phys returns the backing physical memory.
+func (as *AddressSpace) Phys() *mem.Physical { return as.phys }
+
+// Canonical reports whether va is a canonical 48-bit address.
+func Canonical(va uint64) bool {
+	upper := va >> 47
+	return upper == 0 || upper == 0x1ffff
+}
+
+// Indices splits a virtual address into its four table indices.
+func Indices(va uint64) (pml4, pdpt, pd, pt int) {
+	return int(va >> 39 & 0x1ff), int(va >> 30 & 0x1ff),
+		int(va >> 21 & 0x1ff), int(va >> 12 & 0x1ff)
+}
+
+func (as *AddressSpace) readEntry(tablePA uint64, idx int) uint64 {
+	return as.phys.Read(tablePA+uint64(idx)*entryBytes, entryBytes)
+}
+
+func (as *AddressSpace) writeEntry(tablePA uint64, idx int, v uint64) {
+	as.phys.Write(tablePA+uint64(idx)*entryBytes, entryBytes, v)
+}
+
+// ensureTable walks one level down from tablePA[idx], allocating an
+// intermediate table if the entry is not present. Intermediate entries carry
+// the union of permissive flags (U|W) so leaf flags decide.
+func (as *AddressSpace) ensureTable(tablePA uint64, idx int) (uint64, error) {
+	e := as.readEntry(tablePA, idx)
+	if e&FlagP != 0 {
+		if e&FlagPS != 0 {
+			return 0, fmt.Errorf("paging: entry %d of table %#x is a huge leaf", idx, tablePA)
+		}
+		return e & addrMask, nil
+	}
+	child := as.alloc.Alloc4K()
+	as.writeEntry(tablePA, idx, child|FlagP|FlagW|FlagU)
+	return child, nil
+}
+
+// Map installs a 4 KiB translation va→pa with the given leaf flags
+// (FlagP is implied).
+func (as *AddressSpace) Map(va, pa uint64, flags uint64) error {
+	if !Canonical(va) {
+		return fmt.Errorf("paging: non-canonical va %#x", va)
+	}
+	if va%PageSize4K != 0 || pa%PageSize4K != 0 {
+		return fmt.Errorf("paging: unaligned 4K mapping %#x→%#x", va, pa)
+	}
+	i4, i3, i2, i1 := Indices(va)
+	pdpt, err := as.ensureTable(as.root, i4)
+	if err != nil {
+		return err
+	}
+	pd, err := as.ensureTable(pdpt, i3)
+	if err != nil {
+		return err
+	}
+	pt, err := as.ensureTable(pd, i2)
+	if err != nil {
+		return err
+	}
+	as.writeEntry(pt, i1, (pa&addrMask)|flags|FlagP)
+	return nil
+}
+
+// MapHuge installs a 2 MiB translation va→pa with the given leaf flags.
+func (as *AddressSpace) MapHuge(va, pa uint64, flags uint64) error {
+	if !Canonical(va) {
+		return fmt.Errorf("paging: non-canonical va %#x", va)
+	}
+	if va%PageSize2M != 0 || pa%PageSize2M != 0 {
+		return fmt.Errorf("paging: unaligned 2M mapping %#x→%#x", va, pa)
+	}
+	i4, i3, i2, _ := Indices(va)
+	pdpt, err := as.ensureTable(as.root, i4)
+	if err != nil {
+		return err
+	}
+	pd, err := as.ensureTable(pdpt, i3)
+	if err != nil {
+		return err
+	}
+	as.writeEntry(pd, i2, (pa&addrMask)|flags|FlagP|FlagPS)
+	return nil
+}
+
+// MapRange maps [va, va+n) 4 KiB pages to consecutive fresh frames and
+// returns the first frame's physical address.
+func (as *AddressSpace) MapRange(va uint64, n int, flags uint64) (uint64, error) {
+	first := uint64(0)
+	for i := 0; i < n; i++ {
+		pa := as.alloc.Alloc4K()
+		if i == 0 {
+			first = pa
+		}
+		if err := as.Map(va+uint64(i)*PageSize4K, pa, flags); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// Unmap clears the leaf entry for va (4 KiB or 2 MiB), reporting whether a
+// mapping existed.
+func (as *AddressSpace) Unmap(va uint64) bool {
+	i4, i3, i2, i1 := Indices(va)
+	e := as.readEntry(as.root, i4)
+	if e&FlagP == 0 {
+		return false
+	}
+	pdpt := e & addrMask
+	e = as.readEntry(pdpt, i3)
+	if e&FlagP == 0 {
+		return false
+	}
+	pd := e & addrMask
+	e = as.readEntry(pd, i2)
+	if e&FlagP == 0 {
+		return false
+	}
+	if e&FlagPS != 0 {
+		as.writeEntry(pd, i2, 0)
+		return true
+	}
+	pt := e & addrMask
+	if as.readEntry(pt, i1)&FlagP == 0 {
+		return false
+	}
+	as.writeEntry(pt, i1, 0)
+	return true
+}
+
+// Walk is the result of a page-table walk.
+type Walk struct {
+	VA       uint64
+	PA       uint64   // translated physical address (valid if Present)
+	Flags    uint64   // leaf flags
+	Present  bool     // translation exists
+	Huge     bool     // 2 MiB leaf
+	PTEReads []uint64 // physical addresses of every PTE read, in order
+}
+
+// Depth returns the number of table levels touched.
+func (w Walk) Depth() int { return len(w.PTEReads) }
+
+// User reports whether the leaf permits user-mode access.
+func (w Walk) User() bool { return w.Present && w.Flags&FlagU != 0 }
+
+// Writable reports whether the leaf permits writes.
+func (w Walk) Writable() bool { return w.Present && w.Flags&FlagW != 0 }
+
+// WalkVA performs a full walk of va, recording each PTE read so the caller
+// can charge them to the memory hierarchy. A non-canonical address returns a
+// zero-depth non-present walk (the hardware faults before walking).
+func (as *AddressSpace) WalkVA(va uint64) Walk {
+	w := Walk{VA: va}
+	if !Canonical(va) {
+		return w
+	}
+	i4, i3, i2, i1 := Indices(va)
+	tables := [4]uint64{}
+	idxs := [4]int{i4, i3, i2, i1}
+	tables[0] = as.root
+	for lvl := 0; lvl < 4; lvl++ {
+		pteAddr := tables[lvl] + uint64(idxs[lvl])*entryBytes
+		w.PTEReads = append(w.PTEReads, pteAddr)
+		e := as.phys.Read(pteAddr, entryBytes)
+		if e&FlagP == 0 {
+			return w
+		}
+		if lvl == 2 && e&FlagPS != 0 { // 2 MiB leaf at PD level
+			w.Present = true
+			w.Huge = true
+			w.Flags = e &^ addrMask
+			w.PA = (e & addrMask & ^uint64(PageSize2M-1)) | (va & (PageSize2M - 1))
+			return w
+		}
+		if lvl == 3 {
+			w.Present = true
+			w.Flags = e &^ addrMask
+			w.PA = (e & addrMask) | (va & (PageSize4K - 1))
+			return w
+		}
+		tables[lvl+1] = e & addrMask
+	}
+	return w
+}
+
+// Translate is a convenience wrapper returning pa and presence only.
+func (as *AddressSpace) Translate(va uint64) (uint64, bool) {
+	w := as.WalkVA(va)
+	return w.PA, w.Present
+}

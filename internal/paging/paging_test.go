@@ -1,0 +1,224 @@
+package paging
+
+import (
+	"testing"
+	"testing/quick"
+
+	"whisper/internal/mem"
+)
+
+func newAS() *AddressSpace {
+	phys := mem.NewPhysical()
+	return NewAddressSpace(phys, NewFrameAllocator(0x100000))
+}
+
+func TestCanonical(t *testing.T) {
+	cases := []struct {
+		va   uint64
+		want bool
+	}{
+		{0, true},
+		{0x00007fffffffffff, true},
+		{0x0000800000000000, false},
+		{0xffff800000000000, true},
+		{0xffffffff80000000, true},
+		{0xfffe800000000000, false},
+	}
+	for _, c := range cases {
+		if got := Canonical(c.va); got != c.want {
+			t.Errorf("Canonical(%#x) = %v, want %v", c.va, got, c.want)
+		}
+	}
+}
+
+func TestMapTranslate4K(t *testing.T) {
+	as := newAS()
+	va, pa := uint64(0x400000), uint64(0x200000)
+	if err := as.Map(va, pa, FlagU|FlagW); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := as.Translate(va + 0x123)
+	if !ok || got != pa+0x123 {
+		t.Fatalf("Translate = (%#x, %v), want (%#x, true)", got, ok, pa+0x123)
+	}
+}
+
+func TestMapHugeTranslate(t *testing.T) {
+	as := newAS()
+	va, pa := uint64(0xffffffff80000000), uint64(0x40000000)
+	if err := as.MapHuge(va, pa, FlagG); err != nil {
+		t.Fatal(err)
+	}
+	w := as.WalkVA(va + 0x54321)
+	if !w.Present || !w.Huge {
+		t.Fatalf("walk = %+v, want present huge", w)
+	}
+	if w.PA != pa+0x54321 {
+		t.Fatalf("PA = %#x, want %#x", w.PA, pa+0x54321)
+	}
+	if w.Depth() != 3 {
+		t.Fatalf("huge walk depth = %d, want 3", w.Depth())
+	}
+	if w.User() {
+		t.Fatal("kernel huge page reported user-accessible")
+	}
+}
+
+func TestWalkDepths(t *testing.T) {
+	as := newAS()
+	if err := as.Map(0x400000, 0x200000, FlagU); err != nil {
+		t.Fatal(err)
+	}
+	// Mapped 4K: full 4-level walk.
+	if d := as.WalkVA(0x400000).Depth(); d != 4 {
+		t.Errorf("mapped 4K depth = %d, want 4", d)
+	}
+	// Same PML4/PDPT/PD but unmapped PT entry: 4 reads, last not present.
+	w := as.WalkVA(0x400000 + PageSize4K)
+	if w.Present || w.Depth() != 4 {
+		t.Errorf("sibling unmapped = %+v", w)
+	}
+	// Totally unmapped region: walk stops at first absent level (1 read).
+	w = as.WalkVA(0x7f0000000000)
+	if w.Present || w.Depth() != 1 {
+		t.Errorf("far unmapped depth = %d, present=%v", w.Depth(), w.Present)
+	}
+	// Non-canonical: no walk at all.
+	if d := as.WalkVA(0x1000000000000000).Depth(); d != 0 {
+		t.Errorf("non-canonical depth = %d, want 0", d)
+	}
+}
+
+func TestPermissionFlags(t *testing.T) {
+	as := newAS()
+	if err := as.Map(0x1000, 0x2000, FlagW); err != nil { // supervisor page
+		t.Fatal(err)
+	}
+	w := as.WalkVA(0x1000)
+	if !w.Present || w.User() {
+		t.Fatalf("supervisor walk = %+v", w)
+	}
+	if !w.Writable() {
+		t.Fatal("writable flag lost")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	as := newAS()
+	if err := as.Map(0x5000, 0x6000, FlagU); err != nil {
+		t.Fatal(err)
+	}
+	if !as.Unmap(0x5000) {
+		t.Fatal("Unmap of mapped page returned false")
+	}
+	if as.Unmap(0x5000) {
+		t.Fatal("double Unmap returned true")
+	}
+	if _, ok := as.Translate(0x5000); ok {
+		t.Fatal("translation survives Unmap")
+	}
+}
+
+func TestUnmapHuge(t *testing.T) {
+	as := newAS()
+	if err := as.MapHuge(0x40000000, 0x80000000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !as.Unmap(0x40000000) {
+		t.Fatal("Unmap huge returned false")
+	}
+	if _, ok := as.Translate(0x40000000); ok {
+		t.Fatal("huge translation survives Unmap")
+	}
+}
+
+func TestMapRejectsUnaligned(t *testing.T) {
+	as := newAS()
+	if err := as.Map(0x1001, 0x2000, 0); err == nil {
+		t.Error("unaligned va accepted")
+	}
+	if err := as.Map(0x1000, 0x2001, 0); err == nil {
+		t.Error("unaligned pa accepted")
+	}
+	if err := as.MapHuge(0x1000, 0, 0); err == nil {
+		t.Error("unaligned huge va accepted")
+	}
+	if err := as.Map(0x800000000000, 0x2000, 0); err == nil {
+		t.Error("non-canonical va accepted")
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	as := newAS()
+	first, err := as.MapRange(0x600000, 4, FlagU|FlagW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		pa, ok := as.Translate(0x600000 + i*PageSize4K)
+		if !ok {
+			t.Fatalf("page %d unmapped", i)
+		}
+		if i == 0 && pa != first {
+			t.Fatalf("first pa = %#x, want %#x", pa, first)
+		}
+	}
+}
+
+func TestTranslateRoundTripProperty(t *testing.T) {
+	as := newAS()
+	base := uint64(0x10000000)
+	f := func(pageSel uint16, off uint16) bool {
+		page := uint64(pageSel % 128)
+		va := base + page*PageSize4K
+		pa := uint64(0x40000000) + page*PageSize4K
+		if err := as.Map(va, pa, FlagU); err != nil {
+			return false
+		}
+		got, ok := as.Translate(va + uint64(off)%PageSize4K)
+		return ok && got == pa+uint64(off)%PageSize4K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHugeAndSmallWalkDepthDiffer(t *testing.T) {
+	// The FLARE-bypass mechanism (DESIGN.md §1) rests on this property:
+	// huge-page walks are one level shorter than 4K walks.
+	as := newAS()
+	if err := as.MapHuge(0xffffffff80000000, 0x40000000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0xffffffff80200000+0, 0x200000, 0); err != nil {
+		t.Fatal(err)
+	}
+	huge := as.WalkVA(0xffffffff80000000)
+	small := as.WalkVA(0xffffffff80200000)
+	if !huge.Present || !small.Present {
+		t.Fatal("mappings missing")
+	}
+	if huge.Depth() >= small.Depth() {
+		t.Fatalf("huge depth %d >= small depth %d", huge.Depth(), small.Depth())
+	}
+}
+
+func TestFrameAllocatorAlignment(t *testing.T) {
+	a := NewFrameAllocator(0x1000)
+	a.Alloc4K()
+	pa := a.Alloc2M()
+	if pa%PageSize2M != 0 {
+		t.Fatalf("Alloc2M returned unaligned %#x", pa)
+	}
+	if p2 := a.Alloc4K(); p2 < pa+PageSize2M {
+		t.Fatalf("allocator overlap: %#x inside previous 2M frame", p2)
+	}
+}
+
+func TestIndices(t *testing.T) {
+	va := uint64(0xffffffff80000000)
+	i4, i3, i2, i1 := Indices(va)
+	if i4 != 511 || i3 != 510 || i2 != 0 || i1 != 0 {
+		t.Fatalf("Indices = %d,%d,%d,%d", i4, i3, i2, i1)
+	}
+}

@@ -1,0 +1,119 @@
+// Package pipeline implements the cycle-stepped out-of-order core: a fetch
+// frontend with DSB/MITE paths and branch prediction, rename/ROB/RS issue,
+// port-limited execution with a real TLB + page-walker + cache memory
+// pipeline, in-order retirement, transient data forwarding, branch
+// misprediction recovery, and exception machine clears. The Whisper timing
+// channel is an emergent property of these mechanisms; nothing in this
+// package special-cases the attacks.
+package pipeline
+
+// Config parameterises one core. Zero values are not usable; start from
+// DefaultConfig and override.
+type Config struct {
+	// Widths and structure sizes.
+	FetchWidth  int // uops fetched per cycle from the DSB path
+	MITEWidth   int // uops per cycle through the legacy decode path
+	IssueWidth  int // uops renamed/issued per cycle
+	RetireWidth int // uops retired per cycle
+	ROBSize     int
+	RSSize      int
+	IDQSize     int
+	DSBLines    int // capacity of the uop cache, in 64-byte line entries
+	MITEResteer int // insts fetched via MITE after any resteer (DSB bypass)
+
+	// Execution resources.
+	ALUPorts  int
+	LoadPorts int
+	ALULat    uint64
+	MulLat    uint64
+	StoreLat  uint64
+	FwdLat    uint64 // store-to-load forwarding latency
+
+	// Page walk.
+	WalkLevelLat uint64 // fixed per-level cost added to PTE read latency
+
+	// Speculation recovery.
+	ResteerPenalty uint64  // frontend bubble after a branch mispredict
+	RecoveryBase   uint64  // fixed allocator recovery cost per clear
+	RecoveryPerUop float64 // recovery cost per squashed in-flight uop
+	DebtFactor     float64 // fraction of in-window recovery cost added to a
+	// subsequent exception flush (rename/RAT cleanup that the machine clear
+	// must redo; the TET-MD "triggered => longer" mechanism)
+
+	// Exception / transient-window machinery.
+	ExcFlushBase     uint64  // fixed machine-clear cost on a fault
+	ExcFlushPerUop   float64 // machine-clear cost per in-flight uop
+	PermFaultLat     uint64  // fault-processing latency, present-but-forbidden page
+	NotPresentLat    uint64  // fault-processing latency, unmapped page
+	MDSAssistLat     uint64  // microcode-assist latency (Zombieload window)
+	TransFwdLat      uint64  // latency until a faulting load forwards data
+	TSXAbortLat      uint64  // extra cost to redirect into a TSX abort handler
+	SignalDeliverLat uint64  // extra cost to deliver a suppressing signal
+
+	// Vulnerability knobs (per-CPU-model, see internal/cpu).
+	MeltdownVulnerable bool // faulting loads forward real data
+	MDSVulnerable      bool // assisted loads forward stale LFB data
+	TLBFillOnFault     bool // permission-faulting access still fills the TLB
+	AbortableAssist    bool // a mispredict recovery cuts a pending assist short
+
+	// InvisibleSpeculation enables an InvisiSpec/STT-style defense: loads
+	// executing under a speculative shadow (an older unresolved branch or
+	// pending fault) leave no cache or fill-buffer state behind. It kills
+	// cache-probe covert channels; the TET channel does not care (§6.1).
+	InvisibleSpeculation bool
+
+	// Measurement noise (deterministic via the machine's seeded RNG).
+	NoiseSigma    float64 // stddev of RDTSC jitter, cycles
+	InterruptProb float64 // per-RDTSC probability of a big spike
+	InterruptLat  uint64  // size of the spike
+}
+
+// DefaultConfig returns a Skylake-class client core configuration.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  6,
+		MITEWidth:   2,
+		IssueWidth:  4,
+		RetireWidth: 4,
+		ROBSize:     224,
+		RSSize:      97,
+		IDQSize:     64,
+		DSBLines:    64,
+		MITEResteer: 8,
+
+		ALUPorts:  4,
+		LoadPorts: 2,
+		ALULat:    1,
+		MulLat:    3,
+		StoreLat:  1,
+		FwdLat:    5,
+
+		WalkLevelLat: 4,
+
+		ResteerPenalty: 10,
+		RecoveryBase:   12,
+		RecoveryPerUop: 0.6,
+		DebtFactor:     0.5,
+
+		// Fault processing takes the same time whether the page was mapped
+		// or not (§5.2.1 rules out memory-related stall differences); the
+		// mapped/unmapped ToTE difference comes from TLB/walk behaviour.
+		ExcFlushBase:     28,
+		ExcFlushPerUop:   0.9,
+		PermFaultLat:     100,
+		NotPresentLat:    100,
+		MDSAssistLat:     160,
+		TransFwdLat:      9,
+		TSXAbortLat:      40,
+		SignalDeliverLat: 12_000, // kernel entry + handler dispatch + sigreturn
+
+		MeltdownVulnerable: true,
+		MDSVulnerable:      true,
+		TLBFillOnFault:     true,
+		AbortableAssist:    true,
+
+		NoiseSigma:    1.2,
+		InterruptProb: 0.0004,
+		InterruptLat:  1800,
+	}
+}

@@ -1,0 +1,649 @@
+package pipeline
+
+import (
+	"whisper/internal/isa"
+	"whisper/internal/mem"
+	"whisper/internal/paging"
+	"whisper/internal/pmu"
+)
+
+// regValue resolves the value of architectural register r as seen by the
+// uop at ROB position pos: the youngest older in-flight producer wins,
+// otherwise the architectural register file. It reports whether the value
+// is available this cycle. Faulting loads forward their (transient) result
+// at doneAt — the Meltdown/MDS forwarding window.
+func (p *Pipeline) regValue(pos int, r isa.Reg) (uint64, bool) {
+	if r == isa.RZERO {
+		return 0, true
+	}
+	for i := pos - 1; i >= 0; i-- {
+		v := p.rob[i]
+		if v.in.DstReg() != r {
+			continue
+		}
+		if v.done && p.cycle >= v.doneAt {
+			return v.result, true
+		}
+		return 0, false
+	}
+	return p.regs[r], true
+}
+
+// flagsValue resolves RFLAGS for the uop at pos.
+func (p *Pipeline) flagsValue(pos int) (isa.Flags, bool) {
+	for i := pos - 1; i >= 0; i-- {
+		v := p.rob[i]
+		if !v.in.WritesFlags() {
+			continue
+		}
+		if v.done && p.cycle >= v.doneAt {
+			return v.flagsOut, true
+		}
+		return isa.Flags{}, false
+	}
+	return p.flags, true
+}
+
+// execute starts ready uops on available ports.
+func (p *Pipeline) execute() {
+	aluUsed, loadUsed := 0, 0
+	for pos := 0; pos < len(p.rob); pos++ {
+		u := p.rob[pos]
+		if u.started || u.isFence() {
+			continue
+		}
+		isMemPort := u.isLoad() || u.in.Op == isa.OpRet
+		if isMemPort && loadUsed >= p.cfg.LoadPorts {
+			continue
+		}
+		if !isMemPort && aluUsed >= p.cfg.ALUPorts {
+			continue
+		}
+		if !p.tryStart(pos, u) {
+			continue
+		}
+		if isMemPort {
+			loadUsed++
+		} else {
+			aluUsed++
+		}
+	}
+}
+
+// tryStart begins execution of u if its operands are available; it reports
+// whether the uop started.
+func (p *Pipeline) tryStart(pos int, u *uop) bool {
+	switch u.in.Op {
+	case isa.OpNop, isa.OpJmp, isa.OpXend, isa.OpHalt:
+		p.begin(u, p.cfg.ALULat)
+	case isa.OpXbegin:
+		p.begin(u, 3)
+	case isa.OpRdtsc:
+		p.begin(u, 12)
+		u.result = p.cycle + p.timerNoise()
+	case isa.OpMovImm:
+		p.begin(u, p.cfg.ALULat)
+		u.result = uint64(u.in.Imm)
+	case isa.OpMov:
+		v, ok := p.regValue(pos, u.in.Src1)
+		if !ok {
+			return false
+		}
+		p.begin(u, p.cfg.ALULat)
+		u.result = v
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpCmp, isa.OpImul:
+		a, ok1 := p.regValue(pos, u.in.Src1)
+		b, ok2 := p.regValue(pos, u.in.Src2)
+		if !ok1 || !ok2 {
+			return false
+		}
+		lat := p.cfg.ALULat
+		if u.in.Op == isa.OpImul {
+			lat = p.cfg.MulLat
+		}
+		p.begin(u, lat)
+		u.result, u.flagsOut = alu(u.in.Op, a, b)
+	case isa.OpAddImm, isa.OpSubImm, isa.OpAndImm, isa.OpShlImm, isa.OpShrImm, isa.OpCmpImm:
+		a, ok := p.regValue(pos, u.in.Src1)
+		if !ok {
+			return false
+		}
+		p.begin(u, p.cfg.ALULat)
+		u.result, u.flagsOut = aluImm(u.in.Op, a, uint64(u.in.Imm))
+	case isa.OpJcc:
+		fl, ok := p.flagsValue(pos)
+		if !ok {
+			return false
+		}
+		p.begin(u, p.cfg.ALULat)
+		u.flagsOut = fl // stash resolved flags for resolution at completion
+	case isa.OpLoad:
+		return p.startLoad(pos, u)
+	case isa.OpStore:
+		return p.startStore(pos, u)
+	case isa.OpCall:
+		return p.startCall(pos, u)
+	case isa.OpRet:
+		return p.startRet(pos, u)
+	case isa.OpClflush, isa.OpPrefetch:
+		return p.startFlushOrPrefetch(pos, u)
+	default:
+		p.begin(u, p.cfg.ALULat)
+	}
+	return true
+}
+
+func (p *Pipeline) begin(u *uop, lat uint64) {
+	u.started = true
+	u.startAt = p.cycle
+	u.doneAt = p.cycle + lat
+}
+
+func alu(op isa.Op, a, b uint64) (uint64, isa.Flags) {
+	var r uint64
+	var f isa.Flags
+	switch op {
+	case isa.OpAdd:
+		r = a + b
+		f.CF = r < a
+	case isa.OpSub, isa.OpCmp:
+		r = a - b
+		f.CF = a < b
+	case isa.OpAnd:
+		r = a & b
+	case isa.OpOr:
+		r = a | b
+	case isa.OpXor:
+		r = a ^ b
+	case isa.OpImul:
+		r = a * b
+	}
+	if op == isa.OpCmp {
+		f.ZF = r == 0
+		f.SF = r>>63 != 0
+		return a, f // cmp does not write its destination
+	}
+	f.ZF = r == 0
+	f.SF = r>>63 != 0
+	return r, f
+}
+
+func aluImm(op isa.Op, a, imm uint64) (uint64, isa.Flags) {
+	switch op {
+	case isa.OpAddImm:
+		return alu(isa.OpAdd, a, imm)
+	case isa.OpSubImm:
+		return alu(isa.OpSub, a, imm)
+	case isa.OpAndImm:
+		return alu(isa.OpAnd, a, imm)
+	case isa.OpCmpImm:
+		return alu(isa.OpCmp, a, imm)
+	case isa.OpShlImm:
+		return a << (imm & 63), isa.Flags{ZF: a<<(imm&63) == 0}
+	case isa.OpShrImm:
+		return a >> (imm & 63), isa.Flags{ZF: a>>(imm&63) == 0}
+	}
+	return 0, isa.Flags{}
+}
+
+// translate walks the data TLB and page tables for va, charging PTE reads to
+// the cache hierarchy. It returns the physical address, leaf flags, the
+// translation latency, and whether a translation exists.
+func (p *Pipeline) translate(va uint64) (pa uint64, flags uint64, lat uint64, present bool) {
+	if r, ok := p.res.DTLB.Lookup(va); ok {
+		return r.PA, r.Flags, 1, true
+	}
+	p.res.PMU.Inc(pmu.DtlbLoadMissesMissCausesAWalk)
+	w := p.res.AS.WalkVA(va)
+	for _, pteAddr := range w.PTEReads {
+		l, _ := p.res.Hier.AccessData(pteAddr)
+		lat += l + p.cfg.WalkLevelLat
+		p.res.PMU.Inc(pmu.PageWalkerLoads)
+	}
+	p.res.PMU.Add(pmu.DtlbLoadMissesWalkActive, lat)
+	if !w.Present {
+		return 0, 0, lat, false
+	}
+	// Intel parts in the paper's Table 2 load TLB entries even when the
+	// access will fault on permissions; secure-TLB style hardware (and the
+	// AMD models) only fill for genuinely permitted user accesses.
+	if w.User() || p.cfg.TLBFillOnFault {
+		p.res.DTLB.Insert(w)
+	}
+	return w.PA, w.Flags, lat, true
+}
+
+// blockedByFlush reports whether an older un-retired clflush to the same
+// cache line sits between the load at pos and memory; forwarding and access
+// must wait for it to retire.
+func (p *Pipeline) blockedByFlush(pos int, va uint64) bool {
+	line := va &^ (mem.LineSize - 1)
+	for i := pos - 1; i >= 0; i-- {
+		v := p.rob[i]
+		if v.in.Op != isa.OpClflush {
+			continue
+		}
+		if !v.started {
+			return true // address unknown: conservative wait
+		}
+		if v.memVA&^(mem.LineSize-1) == line {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardingStore returns the youngest older completed store writing va, if
+// any, and whether an older incomplete store to va forces a wait.
+func (p *Pipeline) forwardingStore(pos int, va uint64) (*uop, bool) {
+	for i := pos - 1; i >= 0; i-- {
+		v := p.rob[i]
+		if v.in.Op != isa.OpStore && v.in.Op != isa.OpCall {
+			continue
+		}
+		if !v.started {
+			return nil, true // address unknown: conservative wait
+		}
+		if v.memVA != va {
+			continue
+		}
+		if v.done && p.cycle >= v.doneAt {
+			return v, false
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+// startLoad begins a load, handling translation, faults, transient
+// forwarding, store forwarding, and the cache access.
+func (p *Pipeline) startLoad(pos int, u *uop) bool {
+	base, ok := p.regValue(pos, u.in.Src1)
+	if !ok {
+		return false
+	}
+	va := base + uint64(u.in.Imm)
+	pa, flags, transLat, present := p.translate(va)
+	u.memVA = va
+	switch {
+	case !present:
+		u.fault = FaultNotPresent
+		u.abortable = p.cfg.AbortableAssist
+		var fwd uint64
+		if p.cfg.MDSVulnerable {
+			if stale, ok := p.res.LFB.StaleData(); ok {
+				fwd = stale
+			}
+			u.assistAt = p.cycle + transLat + p.cfg.MDSAssistLat
+		} else {
+			u.assistAt = p.cycle + transLat + p.cfg.NotPresentLat
+			u.abortable = false
+		}
+		p.beginMem(u, transLat+p.cfg.TransFwdLat)
+		u.result = truncate(fwd, u.in.Size)
+	case flags&pageUser == 0:
+		u.fault = FaultPerm
+		u.assistAt = p.cycle + transLat + p.cfg.PermFaultLat
+		u.memPA = pa
+		u.translated = true
+		var fwd uint64
+		if p.cfg.MeltdownVulnerable {
+			fwd = p.res.Hier.Phys.Read(pa, u.in.Size)
+		}
+		p.beginMem(u, transLat+p.cfg.TransFwdLat)
+		u.result = truncate(fwd, u.in.Size)
+	default:
+		if p.blockedByFlush(pos, va) {
+			u.waitingFlush = true
+			return false
+		}
+		u.waitingFlush = false
+		st, wait := p.forwardingStore(pos, va)
+		if wait {
+			return false
+		}
+		u.memPA = pa
+		u.translated = true
+		if st != nil {
+			p.beginMem(u, transLat+p.cfg.FwdLat)
+			u.result = truncate(st.storeData, u.in.Size)
+			return true
+		}
+		var lat uint64
+		var lvl mem.Level
+		val := p.res.Hier.Phys.Read(pa, u.in.Size)
+		if p.cfg.InvisibleSpeculation && p.underShadow(pos) {
+			// InvisiSpec-style service: data returns, nothing fills.
+			lat, lvl = p.res.Hier.AccessDataInvisible(pa)
+		} else {
+			lat, lvl = p.res.Hier.AccessData(pa)
+			if lvl != mem.LevelL1 {
+				p.res.LFB.Record(pa, val) // line moves through the fill buffer
+			}
+		}
+		u.hitLevel = int(lvl)
+		p.beginMem(u, transLat+lat)
+		u.result = val
+	}
+	return true
+}
+
+// underShadow reports whether the uop at pos executes under a speculative
+// shadow: an older unresolved branch or an older pending fault.
+func (p *Pipeline) underShadow(pos int) bool {
+	for i := 0; i < pos; i++ {
+		v := p.rob[i]
+		if v.fault != FaultNone {
+			return true
+		}
+		if v.isBranch() && !v.done {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	pageUser     = uint64(paging.FlagU)
+	pageWritable = uint64(paging.FlagW)
+)
+
+func truncate(v uint64, size int) uint64 {
+	if size <= 0 || size >= 8 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}
+
+func (p *Pipeline) beginMem(u *uop, lat uint64) {
+	u.started = true
+	u.startAt = p.cycle
+	u.doneAt = p.cycle + lat
+}
+
+// startStore computes a store's address and data; memory is written at
+// retirement, so transient stores never become visible.
+func (p *Pipeline) startStore(pos int, u *uop) bool {
+	base, ok1 := p.regValue(pos, u.in.Src1)
+	data, ok2 := p.regValue(pos, u.in.Src2)
+	if !ok1 || !ok2 {
+		return false
+	}
+	va := base + uint64(u.in.Imm)
+	pa, flags, transLat, present := p.translate(va)
+	u.memVA = va
+	switch {
+	case !present:
+		u.fault = FaultNotPresent
+		u.abortable = false
+		u.assistAt = p.cycle + transLat + p.cfg.NotPresentLat
+		p.beginMem(u, transLat+p.cfg.StoreLat)
+		return true
+	case flags&pageUser == 0 || flags&pageWritable == 0:
+		u.fault = FaultPerm
+		u.abortable = false
+		u.assistAt = p.cycle + transLat + p.cfg.PermFaultLat
+		p.beginMem(u, transLat+p.cfg.StoreLat)
+		return true
+	}
+	u.memPA = pa
+	u.translated = true
+	u.storeData = data
+	p.beginMem(u, transLat+p.cfg.StoreLat)
+	return true
+}
+
+// startCall computes the return-address push (the RSB was updated at fetch).
+func (p *Pipeline) startCall(pos int, u *uop) bool {
+	rsp, ok := p.regValue(pos, isa.RSP)
+	if !ok {
+		return false
+	}
+	newRSP := rsp - 8
+	pa, _, transLat, present := p.translate(newRSP)
+	u.memVA = newRSP
+	if present {
+		u.memPA = pa
+		u.translated = true
+	}
+	u.result = newRSP // architectural RSP update
+	u.storeData = p.prog.VA(u.idx + 1)
+	p.beginMem(u, transLat+p.cfg.StoreLat)
+	return true
+}
+
+// startRet loads the return address from the stack (honouring store
+// forwarding and clflush blocking — the Spectre-RSB window machinery) and
+// resolves the prediction at completion.
+func (p *Pipeline) startRet(pos int, u *uop) bool {
+	rsp, ok := p.regValue(pos, isa.RSP)
+	if !ok {
+		return false
+	}
+	u.memVA = rsp
+	if p.blockedByFlush(pos, rsp) {
+		u.waitingFlush = true
+		return false
+	}
+	u.waitingFlush = false
+	st, wait := p.forwardingStore(pos, rsp)
+	if wait {
+		return false
+	}
+	pa, _, transLat, present := p.translate(rsp)
+	if !present {
+		u.fault = FaultNotPresent
+		u.abortable = false
+		u.assistAt = p.cycle + transLat + p.cfg.NotPresentLat
+		p.beginMem(u, transLat+p.cfg.TransFwdLat)
+		return true
+	}
+	u.memPA = pa
+	u.translated = true
+	u.result = rsp + 8 // architectural RSP update
+	if st != nil {
+		u.retActual = st.storeData
+		p.beginMem(u, transLat+p.cfg.FwdLat)
+		return true
+	}
+	lat, lvl := p.res.Hier.AccessData(pa)
+	u.hitLevel = int(lvl)
+	u.retActual = p.res.Hier.Phys.Read(pa, 8)
+	p.beginMem(u, transLat+lat)
+	return true
+}
+
+func (p *Pipeline) startFlushOrPrefetch(pos int, u *uop) bool {
+	base, ok := p.regValue(pos, u.in.Src1)
+	if !ok {
+		return false
+	}
+	va := base + uint64(u.in.Imm)
+	pa, _, transLat, present := p.translate(va)
+	u.memVA = va
+	if present {
+		u.memPA = pa
+		u.translated = true
+	}
+	// Neither clflush nor prefetch faults on a bad address; prefetch's
+	// latency still exposes the translation time (the EntryBleed-style
+	// baseline measures exactly this).
+	p.begin(u, transLat+2)
+	return true
+}
+
+// complete finalises uops whose latency elapsed and resolves branches.
+func (p *Pipeline) complete() {
+	for pos := 0; pos < len(p.rob); pos++ {
+		u := p.rob[pos]
+		if u.isFence() {
+			if !u.done && p.allOlderDone(pos) {
+				u.started = true
+				u.startAt = p.cycle
+				u.done = true
+				u.doneAt = p.cycle
+			}
+			continue
+		}
+		if !u.started || u.done || p.cycle < u.doneAt {
+			continue
+		}
+		u.done = true
+		switch u.in.Op {
+		case isa.OpJcc:
+			actual := u.in.Cond.Eval(u.flagsOut)
+			misp := actual != u.predTaken
+			p.res.BPU.UpdateCond(u.pc, actual, misp)
+			if misp {
+				p.res.PMU.Inc(pmu.BrMispExecAllBranches)
+				next := u.idx + 1
+				if actual {
+					next = u.in.Target
+				}
+				p.recoverBranch(pos, next)
+				return // ROB truncated; stop scanning
+			}
+			p.res.PMU.Inc(pmu.BpL1BtbCorrect)
+		case isa.OpRet:
+			if u.fault != FaultNone {
+				continue
+			}
+			actualIdx := p.prog.Index(u.retActual)
+			if !u.predTaken {
+				// Fetch was blocked waiting for this ret.
+				if p.blockedOnRet == u {
+					p.blockedOnRet = nil
+					p.fetchIdx = actualIdx
+					p.haveFetchLine = false
+				}
+				continue
+			}
+			if u.retActual != u.predTarget {
+				p.res.PMU.Inc(pmu.BrMispExecIndirect)
+				p.res.PMU.Inc(pmu.BrMispExecAllBranches)
+				p.recoverBranch(pos, actualIdx)
+				return
+			}
+			p.res.PMU.Inc(pmu.BpL1BtbCorrect)
+		}
+	}
+}
+
+func (p *Pipeline) allOlderDone(pos int) bool {
+	for i := 0; i < pos; i++ {
+		if !p.rob[i].done || p.cycle < p.rob[i].doneAt {
+			return false
+		}
+	}
+	return true
+}
+
+// recoverBranch squashes everything younger than the mispredicted branch at
+// pos and resteers the frontend to correctIdx. Recovery cost scales with the
+// squashed in-flight work; a fraction of it becomes "debt" charged to a
+// later exception flush in the same transient window (see raiseFault).
+func (p *Pipeline) recoverBranch(pos int, correctIdx int) {
+	squashed := len(p.rob) - pos - 1 + len(p.idq)
+	p.emitTraceSquashed(p.rob[pos+1:])
+	p.emitTraceSquashed(p.idq)
+	p.rob = p.rob[:pos+1]
+	p.idq = p.idq[:0]
+	p.blockedOnRet = nil
+	p.fetchIdx = correctIdx
+	p.haveFetchLine = false
+	p.miteLeft = p.cfg.MITEResteer
+	if correctIdx < 0 || correctIdx >= p.prog.Len() {
+		p.fetchIdx = -1
+	}
+
+	cost := p.cfg.RecoveryBase + uint64(p.cfg.RecoveryPerUop*float64(squashed))
+	p.recoveryUntil = maxU64(p.recoveryUntil, p.cycle+cost)
+	p.resteerUntil = maxU64(p.resteerUntil, p.cycle+p.cfg.ResteerPenalty)
+	// The resteer abandons any wrong-path fetch stall.
+	p.fetchStallUntil = p.cycle + p.cfg.ResteerPenalty
+	p.windowDebt += uint64(p.cfg.DebtFactor * float64(cost))
+	p.windowMisp = true
+	p.clears = append(p.clears, ClearEvent{Cycle: p.cycle, Kind: ClearBranch, Cost: cost})
+
+	// An in-flight microcode assist is cut short when the mispredicted
+	// branch's condition was derived from the assist's forwarded data: the
+	// recovery invalidates the value the assist was replaying for (the
+	// TET-ZBL mechanism, §4.3.2). A branch independent of the faulting load
+	// (the Fig. 1a covert-channel gadget) leaves the assist running, so its
+	// window stays full length and the recovery debt makes it *longer*.
+	branch := p.rob[pos]
+	for i, v := range p.rob {
+		if v.fault != FaultNone && v.abortable && v.assistAt > p.cycle+cost &&
+			p.derivesFrom(pos, branch, p.rob[i]) {
+			v.assistAt = p.cycle + cost + 4
+		}
+	}
+}
+
+// derivesFrom reports whether u (at ROB position pos) transitively consumed
+// target's result through register or flags dataflow.
+func (p *Pipeline) derivesFrom(pos int, u, target *uop) bool {
+	if u == target {
+		return true
+	}
+	seen := make(map[*uop]bool)
+	var walk func(pos int, v *uop) bool
+	walk = func(pos int, v *uop) bool {
+		if v == target {
+			return true
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		if v.in.ReadsFlags() {
+			if i := p.flagsProducerIdx(pos); i >= 0 && walk(i, p.rob[i]) {
+				return true
+			}
+		}
+		for _, r := range v.in.SrcRegs() {
+			if i := p.producerIdx(pos, r); i >= 0 && walk(i, p.rob[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(pos, u)
+}
+
+// producerIdx returns the ROB index of the youngest older producer of r
+// before pos, or -1 if the value comes from the architectural file.
+func (p *Pipeline) producerIdx(pos int, r isa.Reg) int {
+	if r == isa.RZERO {
+		return -1
+	}
+	for i := pos - 1; i >= 0; i-- {
+		if p.rob[i].in.DstReg() == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// flagsProducerIdx is producerIdx for RFLAGS.
+func (p *Pipeline) flagsProducerIdx(pos int) int {
+	for i := pos - 1; i >= 0; i-- {
+		if p.rob[i].in.WritesFlags() {
+			return i
+		}
+	}
+	return -1
+}
+
+// timerNoise returns the measurement jitter added to an RDTSC read.
+func (p *Pipeline) timerNoise() uint64 {
+	n := p.res.Rand.NormFloat64() * p.cfg.NoiseSigma
+	if n < 0 {
+		n = -n
+	}
+	jitter := uint64(n)
+	if p.cfg.InterruptProb > 0 && p.res.Rand.Float64() < p.cfg.InterruptProb {
+		jitter += p.cfg.InterruptLat
+	}
+	return jitter
+}

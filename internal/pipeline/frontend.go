@@ -1,0 +1,199 @@
+package pipeline
+
+import (
+	"whisper/internal/isa"
+	"whisper/internal/mem"
+	"whisper/internal/pmu"
+)
+
+// dsbCache models the decoded stream buffer (uop cache) as an LRU set of
+// 64-byte code-line addresses whose decoded uops are available at full fetch
+// width. A resteer bypasses it for a few instructions (cfg.MITEResteer),
+// which is what moves delivery from DSB to MITE in the paper's Table 3 when
+// the transient Jcc triggers.
+type dsbCache struct {
+	cap   int
+	lines map[uint64]uint64 // line VA -> last-use tick
+	tick  uint64
+}
+
+func newDSBCache(capacity int) *dsbCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &dsbCache{cap: capacity, lines: make(map[uint64]uint64, capacity)}
+}
+
+func (d *dsbCache) contains(lineVA uint64) bool {
+	if _, ok := d.lines[lineVA]; ok {
+		d.tick++
+		d.lines[lineVA] = d.tick
+		return true
+	}
+	return false
+}
+
+func (d *dsbCache) insert(lineVA uint64) {
+	d.tick++
+	if _, ok := d.lines[lineVA]; !ok && len(d.lines) >= d.cap {
+		var lruVA, lruTick uint64
+		first := true
+		for va, tk := range d.lines {
+			if first || tk < lruTick {
+				lruVA, lruTick = va, tk
+				first = false
+			}
+		}
+		delete(d.lines, lruVA)
+	}
+	d.lines[lineVA] = d.tick
+}
+
+// fetch pulls instructions along the predicted path into the IDQ.
+func (p *Pipeline) fetch() {
+	if p.fetchIdx < 0 || p.blockedOnRet != nil || p.cycle < p.fetchStallUntil {
+		return
+	}
+	if p.fetchIdx >= p.prog.Len() {
+		return
+	}
+
+	// Per-cycle delivery path: DSB if the current line is cached and we are
+	// not in a post-resteer MITE window.
+	lineVA := p.prog.VA(p.fetchIdx) &^ (mem.LineSize - 1)
+	useDSB := p.miteLeft == 0 && p.dsb.contains(lineVA)
+	width := p.cfg.MITEWidth
+	if useDSB {
+		width = p.cfg.FetchWidth
+	} else {
+		p.res.PMU.Inc(pmu.IdqAllMiteCyclesAnyUops)
+	}
+	p.res.PMU.Inc(pmu.IcFw32)
+
+	fetched := 0
+	for fetched < width && len(p.idq) < p.cfg.IDQSize {
+		if p.fetchIdx < 0 || p.fetchIdx >= p.prog.Len() {
+			break
+		}
+		pc := p.prog.VA(p.fetchIdx)
+		if !p.fetchLineReady(pc) {
+			break // ITLB/icache stall installed
+		}
+		in := p.prog.At(p.fetchIdx)
+		u := &uop{
+			seq:      p.seq,
+			idx:      p.fetchIdx,
+			in:       in,
+			pc:       pc,
+			dsb:      useDSB,
+			hitLevel: -1,
+			fetchAt:  p.cycle,
+		}
+		p.seq++
+		if !useDSB {
+			p.dsb.insert(pc &^ (mem.LineSize - 1))
+			if p.miteLeft > 0 {
+				p.miteLeft--
+			}
+		}
+		p.idq = append(p.idq, u)
+		fetched++
+		if !p.predictNext(u) {
+			break // fetch redirected or blocked
+		}
+	}
+	if useDSB && fetched > 0 {
+		p.res.PMU.Inc(pmu.IdqDsbCyclesAny)
+		if fetched == width {
+			p.res.PMU.Inc(pmu.IdqDsbCyclesOK)
+		}
+	}
+}
+
+// fetchLineReady charges ITLB and icache latency when fetch crosses into a
+// new code line; it reports false (and installs a stall) when the line is
+// not immediately deliverable.
+func (p *Pipeline) fetchLineReady(pc uint64) bool {
+	lineVA := pc &^ (mem.LineSize - 1)
+	if p.haveFetchLine && lineVA == p.lastFetchLine {
+		return true
+	}
+	var pa uint64
+	if r, ok := p.res.ITLB.Lookup(pc); ok {
+		p.res.PMU.Inc(pmu.BpL1TlbFetchHit)
+		pa = r.PA
+	} else {
+		w := p.res.AS.WalkVA(pc)
+		var walkLat uint64
+		for _, pteAddr := range w.PTEReads {
+			lat, _ := p.res.Hier.AccessData(pteAddr)
+			walkLat += lat + p.cfg.WalkLevelLat
+			p.res.PMU.Inc(pmu.PageWalkerLoads)
+		}
+		p.res.PMU.Add(pmu.ItlbMissesWalkActive, walkLat)
+		if !w.Present {
+			// Fetch from an unmapped page: stop fetching; the harness maps
+			// all code it runs, so this only happens on wild speculation.
+			p.fetchIdx = -1
+			return false
+		}
+		p.res.ITLB.Insert(w)
+		if walkLat > 0 {
+			// Stall for the walk; the retry will hit the ITLB and then
+			// perform the icache access.
+			p.fetchStallUntil = maxU64(p.fetchStallUntil, p.cycle+walkLat)
+			return false
+		}
+		pa = w.PA
+	}
+	lat, lvl := p.res.Hier.AccessInst(pa)
+	p.haveFetchLine = true
+	p.lastFetchLine = lineVA
+	if lvl != mem.LevelL1 {
+		p.res.PMU.Add(pmu.Icache16BIfdataStall, lat)
+		p.fetchStallUntil = maxU64(p.fetchStallUntil, p.cycle+lat)
+		return false
+	}
+	return true
+}
+
+// predictNext steers fetch after u; it returns false when fetch must stop
+// this cycle (taken branch, blocked ret, or halt).
+func (p *Pipeline) predictNext(u *uop) bool {
+	switch u.in.Op {
+	case isa.OpJmp:
+		p.fetchIdx = u.in.Target
+		return false
+	case isa.OpCall:
+		p.res.BPU.PushRSB(p.prog.VA(u.idx + 1))
+		p.fetchIdx = u.in.Target
+		return false
+	case isa.OpRet:
+		if target, ok := p.res.BPU.PopRSB(); ok {
+			if idx := p.prog.Index(target); idx >= 0 {
+				u.predTaken = true
+				u.predTarget = target
+				p.fetchIdx = idx
+				return false
+			}
+		}
+		// No usable prediction: fetch blocks until the ret resolves.
+		p.blockedOnRet = u
+		p.fetchIdx = -1
+		return false
+	case isa.OpJcc:
+		u.predTaken = p.res.BPU.PredictCond(u.pc)
+		if u.predTaken {
+			p.fetchIdx = u.in.Target
+			return false
+		}
+		p.fetchIdx = u.idx + 1
+		return true
+	case isa.OpHalt:
+		p.fetchIdx = -1
+		return false
+	default:
+		p.fetchIdx = u.idx + 1
+		return true
+	}
+}

@@ -1,0 +1,537 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"whisper/internal/bpu"
+	"whisper/internal/isa"
+	"whisper/internal/mem"
+	"whisper/internal/paging"
+	"whisper/internal/pmu"
+	"whisper/internal/tlb"
+)
+
+// Resources are the shared microarchitectural structures a core operates on.
+// They persist across program executions (caches stay warm, predictors stay
+// trained, the cycle counter keeps counting) exactly as on real hardware.
+type Resources struct {
+	Hier *mem.Hierarchy
+	LFB  *mem.LFB
+	AS   *paging.AddressSpace
+	DTLB *tlb.TLB
+	ITLB *tlb.TLB
+	BPU  *bpu.BPU
+	PMU  *pmu.PMU
+	Rand *rand.Rand
+}
+
+// ErrUnhandledFault is returned by Exec when a fault occurs with no
+// transaction active and no signal handler installed.
+var ErrUnhandledFault = errors.New("pipeline: unhandled fault")
+
+// Pipeline is one simulated out-of-order core.
+type Pipeline struct {
+	cfg Config
+	res Resources
+
+	prog  *isa.Program
+	regs  [isa.NumRegs]uint64
+	flags isa.Flags
+
+	cycle uint64
+	seq   uint64
+
+	rob []*uop
+	idq []*uop
+
+	// Frontend state.
+	fetchIdx        int // next instruction index; -1 = fetch stopped
+	fetchStallUntil uint64
+	resteerUntil    uint64
+	miteLeft        int
+	dsb             *dsbCache
+	blockedOnRet    *uop
+	lastFetchLine   uint64
+	haveFetchLine   bool
+
+	// Recovery / transaction state.
+	recoveryUntil uint64
+	windowDebt    uint64 // squashed-uop debt accumulated by in-window clears
+	windowMisp    bool
+	inTxn         bool
+	txnRegs       [isa.NumRegs]uint64
+	txnFlags      isa.Flags
+	txnAbortIdx   int
+	sigHandler    int // -1 when absent
+
+	halted bool
+	faults int
+
+	execStart   uint64
+	execBudget  uint64
+	frozenUntil uint64 // external (sibling-induced) full-core stall
+
+	clears []ClearEvent
+	tracer TraceFunc
+}
+
+// New builds a core from a configuration and shared resources. All resource
+// fields must be non-nil.
+func New(cfg Config, res Resources) (*Pipeline, error) {
+	if res.Hier == nil || res.LFB == nil || res.AS == nil || res.DTLB == nil ||
+		res.ITLB == nil || res.BPU == nil || res.PMU == nil || res.Rand == nil {
+		return nil, errors.New("pipeline: nil resource")
+	}
+	if cfg.FetchWidth <= 0 || cfg.IssueWidth <= 0 || cfg.RetireWidth <= 0 ||
+		cfg.ROBSize <= 0 || cfg.RSSize <= 0 || cfg.IDQSize <= 0 {
+		return nil, fmt.Errorf("pipeline: invalid widths in config %+v", cfg)
+	}
+	return &Pipeline{
+		cfg:        cfg,
+		res:        res,
+		dsb:        newDSBCache(cfg.DSBLines),
+		sigHandler: -1,
+		fetchIdx:   -1,
+	}, nil
+}
+
+// Cycle returns the global cycle counter (the simulated TSC).
+func (p *Pipeline) Cycle() uint64 { return p.cycle }
+
+// Skip advances the cycle counter analytically, for bulk state operations
+// (full TLB/cache eviction sweeps) whose cost is known but whose per-access
+// simulation adds nothing. See DESIGN.md §4.
+func (p *Pipeline) Skip(cycles uint64) {
+	p.cycle += cycles
+	p.res.PMU.Add(pmu.CyclesTotal, cycles)
+}
+
+// Reg returns an architectural register value.
+func (p *Pipeline) Reg(r isa.Reg) uint64 { return p.regs[r] }
+
+// SetReg sets an architectural register value (RZERO writes are ignored).
+func (p *Pipeline) SetReg(r isa.Reg, v uint64) {
+	if r != isa.RZERO {
+		p.regs[r] = v
+	}
+}
+
+// SetSignalHandler installs the instruction index control resumes at when a
+// fault is raised outside a transaction (the signal-suppression model).
+// Pass -1 to uninstall.
+func (p *Pipeline) SetSignalHandler(idx int) { p.sigHandler = idx }
+
+// SwitchAddressSpace performs a CR3 write: the data/instruction TLBs drop
+// non-global entries and subsequent walks use the new tables.
+func (p *Pipeline) SwitchAddressSpace(as *paging.AddressSpace) {
+	p.res.AS = as
+	p.res.DTLB.Flush(true)
+	p.res.ITLB.Flush(true)
+}
+
+// AddressSpace returns the active address space.
+func (p *Pipeline) AddressSpace() *paging.AddressSpace { return p.res.AS }
+
+// Clears returns the pipeline-clear trace accumulated since the last Exec.
+func (p *Pipeline) Clears() []ClearEvent { return p.clears }
+
+// Faults returns the number of faults raised during the last Exec.
+func (p *Pipeline) Faults() int { return p.faults }
+
+// Result summarises one Exec run.
+type Result struct {
+	Cycles uint64 // cycles consumed by this run
+	Faults int
+	Halted bool
+}
+
+// BeginExec arms the core to run prog from its first instruction; drive it
+// with StepCycle (co-scheduled multi-core use) or let Exec do both.
+// Microarchitectural state (caches, TLBs, predictors, cycle counter)
+// persists from previous runs; architectural registers are whatever SetReg
+// left there.
+func (p *Pipeline) BeginExec(prog *isa.Program, maxCycles uint64) {
+	p.prog = prog
+	p.rob = p.rob[:0]
+	p.idq = p.idq[:0]
+	p.fetchIdx = 0
+	p.blockedOnRet = nil
+	p.haveFetchLine = false
+	p.halted = false
+	p.inTxn = false
+	p.faults = 0
+	p.windowDebt = 0
+	p.windowMisp = false
+	p.clears = p.clears[:0]
+	p.execStart = p.cycle
+	p.execBudget = maxCycles
+}
+
+// StepCycle advances an armed core by exactly one cycle (no idle
+// fast-forwarding, so co-scheduled cores stay in lockstep). It reports
+// whether the program has halted.
+func (p *Pipeline) StepCycle() (bool, error) {
+	if p.halted {
+		return true, nil
+	}
+	if p.cycle-p.execStart >= p.execBudget {
+		return false, fmt.Errorf("pipeline: exceeded %d cycles", p.execBudget)
+	}
+	if err := p.step(false); err != nil {
+		return p.halted, err
+	}
+	return p.halted, nil
+}
+
+// ExecResult summarises the run armed by the last BeginExec.
+func (p *Pipeline) ExecResult() Result {
+	return Result{Cycles: p.cycle - p.execStart, Faults: p.faults, Halted: p.halted}
+}
+
+// InjectStall freezes the whole core (fetch, issue, execute, retire) for the
+// given number of cycles, modelling interference from a co-resident context:
+// the SMT sibling's pipeline flush (§4.4) or an external throttling event.
+func (p *Pipeline) InjectStall(cycles uint64) {
+	p.frozenUntil = maxU64(p.frozenUntil, p.cycle+cycles)
+}
+
+// Exec runs prog until a Halt retires or maxCycles elapse.
+func (p *Pipeline) Exec(prog *isa.Program, maxCycles uint64) (Result, error) {
+	p.BeginExec(prog, maxCycles)
+	var err error
+	for !p.halted {
+		if p.cycle-p.execStart >= p.execBudget {
+			return p.ExecResult(), fmt.Errorf("pipeline: exceeded %d cycles", p.execBudget)
+		}
+		if stepErr := p.step(true); stepErr != nil {
+			err = stepErr
+			break
+		}
+	}
+	return p.ExecResult(), err
+}
+
+// step advances the core by one cycle (optionally fast-forwarding through a
+// provably idle stall span when the core is not co-scheduled).
+func (p *Pipeline) step(allowFF bool) error {
+	if p.cycle < p.frozenUntil {
+		// Externally stalled (SMT sibling flush): nothing moves.
+		p.countCycle()
+		p.cycle++
+		return nil
+	}
+	if err := p.retire(); err != nil {
+		return err
+	}
+	if !p.halted {
+		if allowFF && len(p.rob) == 0 && len(p.idq) == 0 && p.blockedOnRet == nil &&
+			p.cycle < p.fetchStallUntil {
+			p.fastForward(p.fetchStallUntil)
+			return nil
+		}
+		p.complete()
+		p.execute()
+		p.issue()
+		p.fetch()
+	}
+	p.countCycle()
+	p.cycle++
+	return nil
+}
+
+// fastForward advances an empty, fetch-stalled machine to the target cycle
+// in one jump, bulk-updating the per-cycle PMU events. With no uops anywhere
+// in flight and fetch stalled, no state transition can occur before the
+// stall expires, so this is observationally identical to stepping.
+func (p *Pipeline) fastForward(until uint64) {
+	delta := until - p.cycle
+	pm := p.res.PMU
+	pm.Add(pmu.CyclesTotal, delta)
+	pm.Add(pmu.UopsIssuedStallCycles, delta)
+	pm.Add(pmu.UopsExecutedStallCycles, delta)
+	pm.Add(pmu.UopsExecutedCoreCyclesNone, delta)
+	pm.Add(pmu.CycleActivityStallsTotal, delta)
+	pm.Add(pmu.RsEventsEmptyCycles, delta)
+	pm.Add(pmu.DeDisUopQueueEmptyDi0, delta)
+	if p.recoveryUntil > p.cycle {
+		span := minU64(p.recoveryUntil, until) - p.cycle
+		pm.Add(pmu.IntMiscRecoveryCycles, span)
+		pm.Add(pmu.IntMiscRecoveryCyclesAny, span)
+		pm.Add(pmu.DeDisDispatchTokenStalls2Retire, span)
+	}
+	if p.resteerUntil > p.cycle {
+		pm.Add(pmu.IntMiscClearResteerCycles, minU64(p.resteerUntil, until)-p.cycle)
+	}
+	p.cycle = until
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// issue moves uops from the IDQ into the ROB/RS.
+func (p *Pipeline) issue() {
+	issued := 0
+	blocked := false
+	for issued < p.cfg.IssueWidth && len(p.idq) > 0 {
+		if p.cycle < p.recoveryUntil { // allocator busy recovering
+			p.res.PMU.Inc(pmu.ResourceStallsAny)
+			blocked = true
+			break
+		}
+		if len(p.rob) >= p.cfg.ROBSize || p.rsOccupancy() >= p.cfg.RSSize {
+			p.res.PMU.Inc(pmu.ResourceStallsAny)
+			blocked = true
+			break
+		}
+		if p.fenceBlocksIssue() {
+			blocked = true
+			break
+		}
+		u := p.idq[0]
+		p.idq = p.idq[1:]
+		u.issueAt = p.cycle
+		p.rob = append(p.rob, u)
+		p.res.PMU.Inc(pmu.UopsIssuedAny)
+		// Delivery-source events count uops actually handed to the backend;
+		// uops discarded from the IDQ by a squash never count.
+		if u.dsb {
+			p.res.PMU.Inc(pmu.IdqDsbUops)
+		} else {
+			p.res.PMU.Inc(pmu.IdqMsMiteUops)
+		}
+		if u.in.IsFence() || u.in.Op == isa.OpXbegin || u.in.Op == isa.OpXend ||
+			u.in.Op == isa.OpRdtsc {
+			p.res.PMU.Inc(pmu.IdqMsUops) // microcode-sequenced
+			if u.dsb {
+				p.res.PMU.Inc(pmu.IdqMsDsbCycles)
+			}
+		}
+		issued++
+	}
+	_ = blocked
+	if issued == 0 {
+		p.res.PMU.Inc(pmu.UopsIssuedStallCycles)
+	}
+}
+
+// fenceBlocksIssue reports whether an unfinished fence sits in the ROB
+// (LFENCE semantics: younger uops do not issue until it completes).
+func (p *Pipeline) fenceBlocksIssue() bool {
+	for _, u := range p.rob {
+		if u.isFence() && !u.done {
+			return true
+		}
+	}
+	return false
+}
+
+// rsOccupancy counts uops holding reservation-station entries.
+func (p *Pipeline) rsOccupancy() int {
+	n := 0
+	for _, u := range p.rob {
+		if !u.done {
+			n++
+		}
+	}
+	return n
+}
+
+// retire commits up to RetireWidth uops in order, raising any fault at the
+// head.
+func (p *Pipeline) retire() error {
+	for n := 0; n < p.cfg.RetireWidth && len(p.rob) > 0; n++ {
+		u := p.rob[0]
+		if u.fault != FaultNone {
+			if p.cycle < u.assistAt {
+				return nil // fault still processing
+			}
+			if p.cycle < p.recoveryUntil {
+				// A branch recovery is still draining; the machine clear
+				// serialises behind it.
+				p.res.PMU.Inc(pmu.ResourceStallsAny)
+				p.countRetireStall()
+				return nil
+			}
+			return p.raiseFault(u)
+		}
+		if !u.done || p.cycle < u.doneAt {
+			return nil
+		}
+		p.commit(u)
+		p.emitTrace(u, true)
+		p.rob = p.rob[1:]
+		if p.halted {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) countRetireStall() {
+	p.res.PMU.Inc(pmu.DeDisDispatchTokenStalls2Retire)
+}
+
+// commit applies a uop's architectural effects.
+func (p *Pipeline) commit(u *uop) {
+	p.res.PMU.Inc(pmu.InstRetired)
+	p.res.PMU.Inc(pmu.UopsRetiredAll)
+	if dst := u.in.DstReg(); dst != isa.RZERO {
+		p.regs[dst] = u.result
+	}
+	if u.in.WritesFlags() {
+		p.flags = u.flagsOut
+	}
+	switch u.in.Op {
+	case isa.OpStore:
+		if u.translated {
+			p.res.Hier.Phys.Write(u.memPA, u.in.Size, u.storeData)
+			p.res.Hier.AccessData(u.memPA)
+		}
+	case isa.OpCall:
+		if u.translated {
+			p.res.Hier.Phys.Write(u.memPA, 8, u.storeData)
+			p.res.Hier.AccessData(u.memPA)
+		}
+	case isa.OpClflush:
+		if u.translated {
+			p.res.Hier.Flush(u.memPA)
+		}
+	case isa.OpPrefetch:
+		if u.translated {
+			p.res.Hier.Prefetch(u.memPA)
+		}
+	case isa.OpXbegin:
+		p.inTxn = true
+		p.txnRegs = p.regs
+		p.txnFlags = p.flags
+		p.txnAbortIdx = u.in.Target
+	case isa.OpXend:
+		p.inTxn = false
+	case isa.OpLoad:
+		if u.hitLevel >= int(mem.LevelL2) {
+			p.res.PMU.Inc(pmu.MemLoadRetiredL1Miss)
+		}
+		if u.hitLevel >= int(mem.LevelDRAM) {
+			p.res.PMU.Inc(pmu.MemLoadRetiredL3Miss)
+		}
+	case isa.OpHalt:
+		p.halted = true
+	}
+}
+
+// raiseFault performs the exception machine clear for the faulting uop at
+// the ROB head: every in-flight uop is squashed, the frontend is redirected
+// to the abort handler (TSX) or signal handler, and the flush cost scales
+// with in-flight state plus the recovery debt of clears that happened inside
+// the transient window — the mechanism behind the paper's Table 3
+// RESOURCE_STALLS / CLEAR_RESTEER deltas and the TET-MD timing signal.
+func (p *Pipeline) raiseFault(u *uop) error {
+	p.faults++
+	p.res.PMU.Inc(pmu.MachineClearsCount)
+	occupancy := uint64(len(p.rob)) + uint64(len(p.idq))
+	cost := p.cfg.ExcFlushBase + uint64(p.cfg.ExcFlushPerUop*float64(occupancy)) + p.windowDebt
+	if p.windowMisp {
+		// The clear's frontend redirect replays through stale indirect
+		// predictor state; Skylake counts it as a mispredicted indirect.
+		p.res.PMU.Inc(pmu.BrMispExecIndirect)
+		p.res.PMU.Inc(pmu.BrMispExecAllBranches)
+	}
+	p.clears = append(p.clears, ClearEvent{Cycle: p.cycle, Kind: ClearFault, Cost: cost})
+
+	var redirect int
+	var extra uint64
+	switch {
+	case p.inTxn:
+		redirect = p.txnAbortIdx
+		extra = p.cfg.TSXAbortLat
+		p.regs = p.txnRegs
+		p.flags = p.txnFlags
+		p.inTxn = false
+	case p.sigHandler >= 0:
+		redirect = p.sigHandler
+		extra = p.cfg.SignalDeliverLat
+	default:
+		p.halted = true
+		return fmt.Errorf("%w: %s at pc %#x (va %#x)", ErrUnhandledFault, u.fault, u.pc, u.memVA)
+	}
+
+	p.emitTrace(u, false)
+	if len(p.rob) > 1 {
+		p.emitTraceSquashed(p.rob[1:])
+	}
+	p.emitTraceSquashed(p.idq)
+	p.rob = p.rob[:0]
+	p.idq = p.idq[:0]
+	p.blockedOnRet = nil
+	p.fetchIdx = redirect
+	p.haveFetchLine = false
+	p.miteLeft = p.cfg.MITEResteer
+	until := p.cycle + cost + extra
+	// The redirect abandons any wrong-path fetch stall (a pending icache
+	// fill completes in the background but no longer gates fetch).
+	p.fetchStallUntil = until
+	p.recoveryUntil = maxU64(p.recoveryUntil, until)
+	p.windowDebt = 0
+	p.windowMisp = false
+	return nil
+}
+
+// countCycle updates the per-cycle PMU events.
+func (p *Pipeline) countCycle() {
+	pm := p.res.PMU
+	pm.Inc(pmu.CyclesTotal)
+
+	execBusy := false
+	memBusy := false
+	startedNow := false
+	for _, u := range p.rob {
+		if u.executing(p.cycle) {
+			execBusy = true
+			if u.isLoad() || u.in.Op == isa.OpRet {
+				memBusy = true
+			}
+		}
+		if u.started && u.startAt == p.cycle {
+			startedNow = true
+		}
+	}
+	if !execBusy {
+		pm.Inc(pmu.UopsExecutedStallCycles)
+		pm.Inc(pmu.UopsExecutedCoreCyclesNone)
+	}
+	if !startedNow {
+		pm.Inc(pmu.CycleActivityStallsTotal)
+	}
+	if memBusy {
+		pm.Inc(pmu.CycleActivityCyclesMemAny)
+	}
+	if p.rsOccupancy() == 0 {
+		pm.Inc(pmu.RsEventsEmptyCycles)
+	}
+	if len(p.idq) == 0 {
+		pm.Inc(pmu.DeDisUopQueueEmptyDi0)
+	}
+	if p.cycle < p.recoveryUntil {
+		pm.Inc(pmu.IntMiscRecoveryCycles)
+		pm.Inc(pmu.IntMiscRecoveryCyclesAny)
+		// Zen counts dispatch stalls on retire tokens while the retire
+		// queue drains a recovery.
+		pm.Inc(pmu.DeDisDispatchTokenStalls2Retire)
+	}
+	if p.cycle < p.resteerUntil {
+		pm.Inc(pmu.IntMiscClearResteerCycles)
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

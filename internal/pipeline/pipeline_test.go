@@ -1,0 +1,603 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"whisper/internal/bpu"
+	"whisper/internal/isa"
+	"whisper/internal/mem"
+	"whisper/internal/paging"
+	"whisper/internal/pmu"
+	"whisper/internal/tlb"
+)
+
+// Test address-space layout.
+var kernVA = int64(-1 << 47) // 0xffff800000000000 as a signed immediate
+
+const (
+	codeBase   = 0x400000
+	dataBase   = 0x500000
+	stackBase  = 0x7ff000 // stack page; RSP starts mid-page
+	kernBase   = 0xffff800000000000
+	unmappedVA = 0x600000000000
+)
+
+type env struct {
+	t    *testing.T
+	p    *Pipeline
+	phys *mem.Physical
+	as   *paging.AddressSpace
+	pm   *pmu.PMU
+}
+
+func newEnv(t *testing.T, mutate func(*Config)) *env {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NoiseSigma = 0
+	cfg.InterruptProb = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	phys := mem.NewPhysical()
+	alloc := paging.NewFrameAllocator(0x100000)
+	as := paging.NewAddressSpace(phys, alloc)
+	mustMapRange := func(va uint64, n int, flags uint64) {
+		if _, err := as.MapRange(va, n, flags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustMapRange(codeBase, 4, paging.FlagU)
+	mustMapRange(dataBase, 4, paging.FlagU|paging.FlagW)
+	mustMapRange(stackBase, 1, paging.FlagU|paging.FlagW)
+	// Kernel page: present, supervisor-only.
+	if _, err := as.MapRange(kernBase, 1, paging.FlagW); err != nil {
+		t.Fatal(err)
+	}
+	pm := pmu.New()
+	res := Resources{
+		Hier: mem.NewHierarchy(phys, mem.DefaultHierarchyConfig()),
+		LFB:  mem.NewLFB(10),
+		AS:   as,
+		DTLB: tlb.New("dtlb", tlb.DefaultDTLBConfig()),
+		ITLB: tlb.New("itlb", tlb.DefaultITLBConfig()),
+		BPU:  bpu.New(bpu.DefaultConfig()),
+		PMU:  pm,
+		Rand: rand.New(rand.NewSource(1)),
+	}
+	p, err := New(cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{t: t, p: p, phys: phys, as: as, pm: pm}
+}
+
+// kpa returns the physical address backing a test VA.
+func (e *env) kpa(va uint64) uint64 {
+	pa, ok := e.as.Translate(va)
+	if !ok {
+		e.t.Fatalf("test VA %#x unmapped", va)
+	}
+	return pa
+}
+
+func (e *env) writeData(va uint64, size int, v uint64) {
+	e.phys.Write(e.kpa(va), size, v)
+}
+
+func (e *env) run(p *isa.Program) Result {
+	e.t.Helper()
+	res, err := e.p.Exec(p, 2_000_000)
+	if err != nil {
+		e.t.Fatalf("Exec: %v", err)
+	}
+	return res
+}
+
+func b() *isa.Builder { return isa.NewBuilder(codeBase) }
+
+func TestALULoop(t *testing.T) {
+	e := newEnv(t, nil)
+	// sum = 1+2+...+10 via a countdown loop.
+	p := b().
+		MovImm(isa.RAX, 0).
+		MovImm(isa.RBX, 10).
+		Label("loop").
+		Add(isa.RAX, isa.RAX, isa.RBX).
+		SubImm(isa.RBX, isa.RBX, 1).
+		Jcc(isa.CondNE, "loop").
+		Halt().
+		MustAssemble()
+	e.run(p)
+	if got := e.p.Reg(isa.RAX); got != 55 {
+		t.Fatalf("sum = %d, want 55", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	e := newEnv(t, nil)
+	p := b().
+		MovImm(isa.RBX, dataBase).
+		MovImm(isa.RAX, 0xdeadbeef).
+		StoreQ(isa.RBX, 16, isa.RAX).
+		LoadQ(isa.RCX, isa.RBX, 16).
+		Halt().
+		MustAssemble()
+	e.run(p)
+	if got := e.p.Reg(isa.RCX); got != 0xdeadbeef {
+		t.Fatalf("loaded %#x", got)
+	}
+	if got := e.phys.Read(e.kpa(dataBase+16), 8); got != 0xdeadbeef {
+		t.Fatalf("memory holds %#x", got)
+	}
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	e := newEnv(t, nil)
+	// The load must see the in-flight store's data even before retire.
+	p := b().
+		MovImm(isa.RBX, dataBase).
+		MovImm(isa.RAX, 42).
+		StoreQ(isa.RBX, 0, isa.RAX).
+		LoadQ(isa.RCX, isa.RBX, 0).
+		Halt().
+		MustAssemble()
+	e.run(p)
+	if got := e.p.Reg(isa.RCX); got != 42 {
+		t.Fatalf("forwarded %d", got)
+	}
+}
+
+func TestByteLoadTruncation(t *testing.T) {
+	e := newEnv(t, nil)
+	e.writeData(dataBase, 8, 0x1122334455667788)
+	p := b().
+		MovImm(isa.RBX, dataBase).
+		LoadB(isa.RAX, isa.RBX, 0).
+		Halt().
+		MustAssemble()
+	e.run(p)
+	if got := e.p.Reg(isa.RAX); got != 0x88 {
+		t.Fatalf("byte load = %#x", got)
+	}
+}
+
+func TestRdtscMonotonic(t *testing.T) {
+	e := newEnv(t, nil)
+	p := b().
+		Rdtsc(isa.RAX).
+		NopSled(20).
+		Rdtsc(isa.RBX).
+		Halt().
+		MustAssemble()
+	e.run(p)
+	t1, t2 := e.p.Reg(isa.RAX), e.p.Reg(isa.RBX)
+	if t2 <= t1 {
+		t.Fatalf("rdtsc not monotonic: %d then %d", t1, t2)
+	}
+}
+
+func TestFlushedLoadSlower(t *testing.T) {
+	e := newEnv(t, nil)
+	timeLoad := func(flush bool) uint64 {
+		bb := b().MovImm(isa.RBX, dataBase)
+		if flush {
+			bb.Clflush(isa.RBX, 0).Mfence()
+		} else {
+			bb.LoadQ(isa.RAX, isa.RBX, 0).Mfence() // warm it
+		}
+		bb.Rdtsc(isa.RCX).
+			Lfence().
+			LoadQ(isa.RAX, isa.RBX, 0).
+			Lfence().
+			Rdtsc(isa.RDX).
+			Halt()
+		p := bb.MustAssemble()
+		e.run(p)
+		return e.p.Reg(isa.RDX) - e.p.Reg(isa.RCX)
+	}
+	warm := timeLoad(false)
+	cold := timeLoad(true)
+	if cold <= warm+50 {
+		t.Fatalf("flush+reload timing: warm=%d cold=%d", warm, cold)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	e := newEnv(t, nil)
+	p := b().
+		MovImm(isa.RSP, stackBase+0x800).
+		MovImm(isa.RAX, 0).
+		Call("fn").
+		AddImm(isa.RAX, isa.RAX, 100). // after return
+		Halt().
+		Label("fn").
+		AddImm(isa.RAX, isa.RAX, 1).
+		Ret().
+		MustAssemble()
+	e.run(p)
+	if got := e.p.Reg(isa.RAX); got != 101 {
+		t.Fatalf("rax = %d, want 101", got)
+	}
+	if got := e.p.Reg(isa.RSP); got != stackBase+0x800 {
+		t.Fatalf("rsp = %#x, want %#x", got, stackBase+0x800)
+	}
+}
+
+func TestUnhandledFault(t *testing.T) {
+	e := newEnv(t, nil)
+	p := b().
+		MovImm(isa.RBX, unmappedVA).
+		LoadQ(isa.RAX, isa.RBX, 0).
+		Halt().
+		MustAssemble()
+	_, err := e.p.Exec(p, 100000)
+	if !errors.Is(err, ErrUnhandledFault) {
+		t.Fatalf("err = %v, want ErrUnhandledFault", err)
+	}
+}
+
+func TestSignalHandlerSuppression(t *testing.T) {
+	e := newEnv(t, nil)
+	bb := b().
+		MovImm(isa.RAX, 1).
+		MovImm(isa.RBX, unmappedVA).
+		LoadQ(isa.RCX, isa.RBX, 0). // faults
+		MovImm(isa.RAX, 2)          // transient only; must not commit
+	handler := bb.Pos() + 1
+	bb.Halt() // skipped via handler? No: handler points past this halt
+	bb.Label("handler").
+		MovImm(isa.RDX, 99).
+		Halt()
+	_ = handler
+	p := bb.MustAssemble()
+	// Install handler at the "handler" label's index (Halt at handler-1).
+	e.p.SetSignalHandler(5)
+	defer e.p.SetSignalHandler(-1)
+	res := e.run(p)
+	if res.Faults != 1 {
+		t.Fatalf("faults = %d", res.Faults)
+	}
+	if got := e.p.Reg(isa.RDX); got != 99 {
+		t.Fatalf("handler did not run: rdx = %d", got)
+	}
+	if got := e.p.Reg(isa.RAX); got != 1 {
+		t.Fatalf("transient write committed: rax = %d", got)
+	}
+}
+
+func TestTSXAbortRestoresRegisters(t *testing.T) {
+	e := newEnv(t, nil)
+	p := b().
+		MovImm(isa.RAX, 7).
+		Xbegin("abort").
+		MovImm(isa.RAX, 8). // inside txn: retired then rolled back
+		MovImm(isa.RBX, unmappedVA).
+		LoadQ(isa.RCX, isa.RBX, 0). // faults, aborts txn
+		Xend().
+		Halt().
+		Label("abort").
+		MovImm(isa.RDX, 1).
+		Halt().
+		MustAssemble()
+	res := e.run(p)
+	if res.Faults != 1 {
+		t.Fatalf("faults = %d", res.Faults)
+	}
+	if got := e.p.Reg(isa.RAX); got != 7 {
+		t.Fatalf("txn rollback failed: rax = %d", got)
+	}
+	if got := e.p.Reg(isa.RDX); got != 1 {
+		t.Fatalf("abort handler did not run: rdx = %d", got)
+	}
+}
+
+func TestMeltdownForwardingGates(t *testing.T) {
+	// The transient value of a faulting kernel load must depend on the
+	// MeltdownVulnerable knob. Observable via the TET effect itself: compare
+	// ToTE when the dependent Jcc matches vs not.
+	secret := uint64('S')
+	for _, vuln := range []bool{true, false} {
+		e := newEnv(t, func(c *Config) { c.MeltdownVulnerable = vuln })
+		e.phys.Write(e.kpa(kernBase), 1, secret)
+		prog := b().
+			MovImm(isa.RBX, kernVA).
+			Rdtsc(isa.RSI).
+			Xbegin("abort").
+			LoadB(isa.RAX, isa.RBX, 0). // faulting kernel load
+			Cmp(isa.RAX, isa.RDX).
+			Jcc(isa.CondE, "taken").
+			Lfence().
+			Jmp("end").
+			Label("taken").
+			NopSled(24).
+			Label("end").
+			Xend().
+			Halt(). // unreachable
+			Label("abort").
+			Rdtsc(isa.RDI).
+			Halt().
+			MustAssemble()
+		tote := func(test uint64) uint64 {
+			// Train not-taken (the sweep's non-matching values), then probe.
+			e.p.SetReg(isa.RDX, secret+100)
+			for i := 0; i < 3; i++ {
+				e.run(prog)
+			}
+			e.p.SetReg(isa.RDX, test)
+			e.run(prog)
+			return e.p.Reg(isa.RDI) - e.p.Reg(isa.RSI)
+		}
+		base := tote(secret + 1)
+		hit := tote(secret)
+		if vuln && hit <= base {
+			t.Errorf("vulnerable: ToTE(match)=%d <= ToTE(miss)=%d", hit, base)
+		}
+		if !vuln && hit != base {
+			// Without forwarding both paths see value 0 and behave
+			// identically (cycle-deterministic with zero noise).
+			t.Errorf("patched: ToTE(match)=%d != ToTE(miss)=%d", hit, base)
+		}
+	}
+}
+
+func TestBranchMispredictRecovery(t *testing.T) {
+	e := newEnv(t, nil)
+	// Train not-taken, then flip: the final taken branch must mispredict
+	// and still produce correct architectural results.
+	p := b().
+		MovImm(isa.RAX, 0).
+		MovImm(isa.RBX, 8).
+		Label("loop").
+		SubImm(isa.RBX, isa.RBX, 1).
+		CmpImm(isa.RBX, 100).
+		Jcc(isa.CondE, "never").
+		CmpImm(isa.RBX, 0).
+		Jcc(isa.CondNE, "loop").
+		MovImm(isa.RCX, 123).
+		Halt().
+		Label("never").
+		MovImm(isa.RCX, 666).
+		Halt().
+		MustAssemble()
+	e.run(p)
+	if got := e.p.Reg(isa.RCX); got != 123 {
+		t.Fatalf("rcx = %d", got)
+	}
+	_, mispreds, _, _ := e.p.res.BPU.Stats()
+	if mispreds == 0 {
+		t.Fatal("expected at least one misprediction")
+	}
+}
+
+func TestTLBFillOnFaultKnob(t *testing.T) {
+	probe := func(fill bool) (walks uint64) {
+		e := newEnv(t, func(c *Config) { c.TLBFillOnFault = fill })
+		p := b().
+			MovImm(isa.RBX, kernVA).
+			LoadB(isa.RAX, isa.RBX, 0).
+			Halt().
+			Label("h").
+			Halt().
+			MustAssemble()
+		e.p.SetSignalHandler(3)
+		e.run(p) // first probe: walks and (maybe) fills
+		before := e.pm.Read(pmu.DtlbLoadMissesMissCausesAWalk)
+		e.run(p) // second probe
+		return e.pm.Read(pmu.DtlbLoadMissesMissCausesAWalk) - before
+	}
+	if w := probe(true); w != 0 {
+		t.Errorf("fill-on-fault: second probe walked %d times, want 0", w)
+	}
+	if w := probe(false); w == 0 {
+		t.Errorf("no fill-on-fault: second probe did not walk")
+	}
+}
+
+func TestUnmappedAlwaysWalks(t *testing.T) {
+	e := newEnv(t, nil)
+	p := b().
+		MovImm(isa.RBX, unmappedVA).
+		LoadB(isa.RAX, isa.RBX, 0).
+		Halt().
+		Label("h").
+		Halt().
+		MustAssemble()
+	e.p.SetSignalHandler(3)
+	e.run(p)
+	before := e.pm.Read(pmu.DtlbLoadMissesMissCausesAWalk)
+	e.run(p)
+	if got := e.pm.Read(pmu.DtlbLoadMissesMissCausesAWalk) - before; got == 0 {
+		t.Fatal("unmapped probe did not walk")
+	}
+}
+
+func TestMappedVsUnmappedToTE(t *testing.T) {
+	// The TET-KASLR primitive: repeated probes of a mapped (but forbidden)
+	// kernel address run faster than probes of an unmapped address.
+	e := newEnv(t, nil)
+	tote := func(target uint64) uint64 {
+		bb := b().
+			MovImm(isa.RBX, int64(target)).
+			Rdtsc(isa.RSI).
+			Lfence().
+			Xbegin("abort").
+			LoadB(isa.RAX, isa.RBX, 0).
+			Xend().
+			Halt().
+			Label("abort").
+			Rdtsc(isa.RDI).
+			Halt()
+		p := bb.MustAssemble()
+		var last uint64
+		for i := 0; i < 3; i++ {
+			e.run(p)
+			last = e.p.Reg(isa.RDI) - e.p.Reg(isa.RSI)
+		}
+		return last
+	}
+	mapped := tote(kernBase)
+	unmapped := tote(unmappedVA)
+	if mapped+20 >= unmapped {
+		t.Fatalf("ToTE mapped=%d unmapped=%d; want mapped clearly smaller", mapped, unmapped)
+	}
+}
+
+func TestRSBMispredictLateResolution(t *testing.T) {
+	e := newEnv(t, nil)
+	// Call pushes a return address; the code then overwrites the stack slot
+	// and flushes it. The ret must (a) speculate to the RSB target and (b)
+	// architecturally land on the overwritten target.
+	p := b().
+		MovImm(isa.RSP, stackBase+0x800).
+		Call("fn").
+		// Speculative return lands here (RSB target).
+		Label("spec").
+		MovImm(isa.R10, 1).
+		Jmp("spec_end").
+		Label("fn").
+		// Overwrite the return address with &arch, flush the slot.
+		MovImm(isa.RAX, codeBase+100*isa.InstBytes).
+		StoreQ(isa.RSP, 0, isa.RAX).
+		Clflush(isa.RSP, 0).
+		Ret().
+		Label("spec_end").
+		Halt().
+		MustAssemble()
+	// Pad program to index 100 and place the architectural landing site.
+	for p.Len() < 100 {
+		p.Insts = append(p.Insts, isa.Inst{Op: isa.OpNop})
+	}
+	lbl := isa.NewBuilder(codeBase+100*isa.InstBytes).
+		MovImm(isa.R11, 2).
+		Halt().
+		MustAssemble()
+	p.Insts = append(p.Insts, lbl.Insts...)
+	e.run(p)
+	if got := e.p.Reg(isa.R11); got != 2 {
+		t.Fatalf("architectural return target missed: r11 = %d", got)
+	}
+	if got := e.p.Reg(isa.R10); got != 0 {
+		t.Fatalf("speculative path committed: r10 = %d", got)
+	}
+	_, _, retPredicts, _ := e.p.res.BPU.Stats()
+	if retPredicts == 0 {
+		t.Fatal("no RSB prediction recorded")
+	}
+	if e.pm.Read(pmu.BrMispExecIndirect) == 0 {
+		t.Fatal("indirect misprediction not counted")
+	}
+}
+
+func TestLfenceBlocksIssue(t *testing.T) {
+	e := newEnv(t, nil)
+	// A flushed load followed by lfence then many nops: the nops cannot
+	// issue until the load completes, so total time ≈ load latency + nops.
+	run := func(withFence bool) uint64 {
+		bb := b().
+			MovImm(isa.RBX, dataBase).
+			Clflush(isa.RBX, 0).
+			Mfence().
+			Rdtsc(isa.RSI).
+			LoadQ(isa.RAX, isa.RBX, 0)
+		if withFence {
+			bb.Lfence()
+		}
+		bb.NopSled(40).
+			Mfence().
+			Rdtsc(isa.RDI).
+			Halt()
+		p := bb.MustAssemble()
+		e.run(p)
+		return e.p.Reg(isa.RDI) - e.p.Reg(isa.RSI)
+	}
+	without := run(false)
+	with := run(true)
+	if with <= without {
+		t.Fatalf("lfence should serialise: with=%d without=%d", with, without)
+	}
+}
+
+func TestSkipAdvancesCycleAndPMU(t *testing.T) {
+	e := newEnv(t, nil)
+	c0 := e.p.Cycle()
+	pm0 := e.pm.Read(pmu.CyclesTotal)
+	e.p.Skip(1000)
+	if e.p.Cycle() != c0+1000 {
+		t.Fatalf("Cycle = %d", e.p.Cycle())
+	}
+	if e.pm.Read(pmu.CyclesTotal) != pm0+1000 {
+		t.Fatal("PMU cycles not advanced")
+	}
+}
+
+func TestExecCycleBudget(t *testing.T) {
+	e := newEnv(t, nil)
+	// Infinite loop must hit the cycle budget, not hang.
+	p := b().Label("x").Jmp("x").MustAssemble()
+	if _, err := e.p.Exec(p, 5000); err == nil {
+		t.Fatal("expected budget error")
+	}
+}
+
+func TestNewValidatesResources(t *testing.T) {
+	if _, err := New(DefaultConfig(), Resources{}); err == nil {
+		t.Fatal("nil resources accepted")
+	}
+	e := newEnv(t, nil)
+	bad := DefaultConfig()
+	bad.ROBSize = 0
+	if _, err := New(bad, e.p.res); err == nil {
+		t.Fatal("zero ROB accepted")
+	}
+}
+
+func TestZombieloadLFBForwarding(t *testing.T) {
+	// With MDS vulnerable, a not-present faulting load forwards the stale
+	// LFB value; the dependent Jcc therefore behaves differently when the
+	// test value matches that stale value.
+	e := newEnv(t, nil)
+	e.p.res.LFB.Record(0x12340, uint64('Z'))
+	// RDX carries the test value so the same program (same branch PC) can be
+	// trained and probed with different values, as the real 0..255 sweep does.
+	prog := b().
+		MovImm(isa.RBX, unmappedVA).
+		Rdtsc(isa.RSI).
+		Xbegin("abort").
+		LoadB(isa.RAX, isa.RBX, 0).
+		Cmp(isa.RAX, isa.RDX).
+		Jcc(isa.CondE, "taken").
+		Lfence().
+		Jmp("end").
+		Label("taken").
+		NopSled(24).
+		Label("end").
+		Xend().
+		Halt().
+		Label("abort").
+		Rdtsc(isa.RDI).
+		Halt().
+		MustAssemble()
+	tote := func(test int64) uint64 {
+		// Train the predictor not-taken with non-matching probes (the 255
+		// other test values of the sweep), then measure one probe.
+		e.p.SetReg(isa.RDX, uint64('Q'))
+		for i := 0; i < 3; i++ {
+			e.run(prog)
+		}
+		e.p.SetReg(isa.RDX, uint64(test))
+		e.run(prog)
+		return e.p.Reg(isa.RDI) - e.p.Reg(isa.RSI)
+	}
+	miss := tote('A')
+	hit := tote('Z')
+	if hit == miss {
+		t.Fatalf("ZBL: ToTE(match)=%d == ToTE(miss)=%d", hit, miss)
+	}
+	// Zombieload's sign: the abortable assist is cut short, so match is
+	// *shorter* (§4.3.2).
+	if hit >= miss {
+		t.Fatalf("ZBL sign wrong: match=%d miss=%d (want match < miss)", hit, miss)
+	}
+}

@@ -1,0 +1,65 @@
+package pipeline
+
+// TraceRecord is the lifetime of one uop, emitted when it leaves the machine
+// (retirement or squash). It feeds the trace package's pipeline diagrams and
+// is the low-level observability hook for library users.
+type TraceRecord struct {
+	Seq     uint64
+	Idx     int    // instruction index in the program
+	PC      uint64 // code virtual address
+	Text    string // disassembly
+	FetchAt uint64
+	IssueAt uint64
+	StartAt uint64 // execution start (0 if never started)
+	DoneAt  uint64 // completion (0 if never completed)
+	EndAt   uint64 // retirement or squash cycle
+	Retired bool   // false: squashed (transient)
+	Fault   string // fault kind, "" if none
+	FromDSB bool
+}
+
+// TraceFunc receives uop lifetime records.
+type TraceFunc func(TraceRecord)
+
+// SetTracer installs (or, with nil, removes) a uop lifetime tracer. Tracing
+// is off the measurement path: it costs one callback per uop leaving the
+// machine and perturbs no timing.
+func (p *Pipeline) SetTracer(fn TraceFunc) { p.tracer = fn }
+
+// emitTrace reports a uop leaving the machine.
+func (p *Pipeline) emitTrace(u *uop, retired bool) {
+	if p.tracer == nil {
+		return
+	}
+	rec := TraceRecord{
+		Seq:     u.seq,
+		Idx:     u.idx,
+		PC:      u.pc,
+		Text:    u.in.String(),
+		FetchAt: u.fetchAt,
+		IssueAt: u.issueAt,
+		EndAt:   p.cycle,
+		Retired: retired,
+		FromDSB: u.dsb,
+	}
+	if u.started {
+		rec.StartAt = u.startAt
+	}
+	if u.done {
+		rec.DoneAt = u.doneAt
+	}
+	if u.fault != FaultNone {
+		rec.Fault = u.fault.String()
+	}
+	p.tracer(rec)
+}
+
+// emitTraceRange reports every uop in robs as squashed.
+func (p *Pipeline) emitTraceSquashed(uops []*uop) {
+	if p.tracer == nil {
+		return
+	}
+	for _, u := range uops {
+		p.emitTrace(u, false)
+	}
+}

@@ -1,0 +1,89 @@
+package pipeline
+
+import "whisper/internal/isa"
+
+// FaultKind classifies a memory-access fault discovered at execution and
+// raised at retirement.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultNone       FaultKind = iota
+	FaultPerm                 // translation present, access forbidden (Meltdown window)
+	FaultNotPresent           // no translation (KASLR probe, Zombieload assist)
+)
+
+func (f FaultKind) String() string {
+	switch f {
+	case FaultPerm:
+		return "permission"
+	case FaultNotPresent:
+		return "not-present"
+	}
+	return "none"
+}
+
+// uop is one in-flight micro-operation.
+type uop struct {
+	seq uint64
+	idx int // instruction index in the program
+	in  isa.Inst
+	pc  uint64 // code virtual address
+	dsb bool   // delivered from the DSB (vs MITE)
+
+	// Branch prediction state captured at fetch.
+	predTaken  bool
+	predTarget uint64 // predicted target VA (ret)
+
+	fetchAt uint64
+	issueAt uint64
+	started bool
+	done    bool
+	startAt uint64
+	doneAt  uint64 // completion: results visible to dependents
+
+	result   uint64
+	flagsOut isa.Flags
+
+	// Memory state.
+	memVA      uint64
+	memPA      uint64
+	translated bool
+	hitLevel   int // mem.Level of the access, -1 if none
+
+	// Fault state.
+	fault     FaultKind
+	assistAt  uint64 // earliest cycle the fault may be raised at retire
+	abortable bool   // a branch recovery may cut the assist short
+
+	retActual uint64 // resolved return target (ret uops)
+	storeData uint64 // value written to memory at commit (store/call uops)
+
+	waitingFlush bool // load blocked by an older in-flight clflush
+}
+
+func (u *uop) isLoad() bool   { return u.in.Op == isa.OpLoad }
+func (u *uop) isBranch() bool { return u.in.IsBranch() }
+func (u *uop) isFence() bool  { return u.in.IsFence() }
+
+// executing reports whether the uop occupies an execution resource at cycle c.
+func (u *uop) executing(c uint64) bool {
+	return u.started && !u.done && c >= u.startAt
+}
+
+// ClearKind classifies a pipeline clear.
+type ClearKind int
+
+// Clear kinds.
+const (
+	ClearBranch ClearKind = iota // branch misprediction recovery
+	ClearFault                   // exception machine clear
+)
+
+// ClearEvent records one pipeline clear, consumed by the SMT model and the
+// PMU toolset.
+type ClearEvent struct {
+	Cycle uint64
+	Kind  ClearKind
+	Cost  uint64
+}

@@ -1,0 +1,165 @@
+// Package pmu implements the performance monitoring unit and the automated
+// analysis toolset of the paper's Figure 2. The pipeline increments event
+// counters as the corresponding microarchitectural mechanisms fire; the
+// toolset runs paired scenarios, collects per-run counter snapshots, and
+// applies the differential filter that surfaces the Table 3 events.
+package pmu
+
+// Vendor distinguishes Intel- and AMD-named events.
+type Vendor int
+
+// Vendors.
+const (
+	Intel Vendor = iota
+	AMD
+	Common // counted on every model
+)
+
+// Event identifies one hardware event counter.
+type Event int
+
+// Events. Names follow the Intel SDM / AMD PPR spellings used in Table 3.
+const (
+	// Branch / speculation events.
+	BrMispExecIndirect Event = iota
+	BrMispExecAllBranches
+	BrMispRetiredAllBranches
+	MachineClearsCount
+	IntMiscRecoveryCycles
+	IntMiscRecoveryCyclesAny
+	IntMiscClearResteerCycles
+
+	// Issue / backend events.
+	UopsIssuedAny
+	UopsIssuedStallCycles
+	UopsExecutedStallCycles
+	UopsExecutedCoreCyclesNone
+	UopsRetiredAll
+	ResourceStallsAny
+	RsEventsEmptyCycles
+	CycleActivityStallsTotal
+	CycleActivityCyclesMemAny
+
+	// Frontend events.
+	IdqDsbUops
+	IdqMsDsbCycles
+	IdqDsbCyclesOK
+	IdqDsbCyclesAny
+	IdqMsMiteUops
+	IdqAllMiteCyclesAnyUops
+	IdqMsUops
+	Icache16BIfdataStall
+
+	// Memory subsystem events.
+	DtlbLoadMissesMissCausesAWalk
+	DtlbLoadMissesWalkActive
+	ItlbMissesWalkActive
+	MemLoadRetiredL1Miss
+	MemLoadRetiredL3Miss
+	PageWalkerLoads
+
+	// AMD Zen 3 events.
+	BpL1BtbCorrect
+	BpL1TlbFetchHit
+	DeDisUopQueueEmptyDi0
+	DeDisDispatchTokenStalls2Retire
+	IcFw32
+
+	// Simulator-global events.
+	CyclesTotal
+	InstRetired
+
+	NumEvents int = iota
+)
+
+// Desc is event metadata for the toolset's preparation stage.
+type Desc struct {
+	Name   string
+	Vendor Vendor
+	Domain string // frontend | backend | memory | speculation | global
+	Help   string
+}
+
+var descs = [NumEvents]Desc{
+	BrMispExecIndirect:              {"BR_MISP_EXEC.INDIRECT", Intel, "speculation", "mispredicted indirect branches executed (incl. transient)"},
+	BrMispExecAllBranches:           {"BR_MISP_EXEC.ALL_BRANCHES", Intel, "speculation", "all mispredicted branches executed (incl. transient)"},
+	BrMispRetiredAllBranches:        {"BR_MISP_RETIRED.ALL_BRANCHES", Intel, "speculation", "mispredicted branches retired"},
+	MachineClearsCount:              {"MACHINE_CLEARS.COUNT", Intel, "speculation", "machine clears of any kind"},
+	IntMiscRecoveryCycles:           {"INT_MISC.RECOVERY_CYCLES", Intel, "speculation", "cycles the allocator is stalled recovering from a clear"},
+	IntMiscRecoveryCyclesAny:        {"INT_MISC.RECOVERY_CYCLES_ANY", Intel, "speculation", "recovery cycles, any thread"},
+	IntMiscClearResteerCycles:       {"INT_MISC.CLEAR_RESTEER_CYCLES", Intel, "speculation", "cycles from clear to first new-path uop issue"},
+	UopsIssuedAny:                   {"UOPS_ISSUED.ANY", Intel, "backend", "uops issued by the rename/allocate stage"},
+	UopsIssuedStallCycles:           {"UOPS_ISSUED.STALL_CYCLES", Intel, "backend", "cycles with no uops issued"},
+	UopsExecutedStallCycles:         {"UOPS_EXECUTED.STALL_CYCLES", Intel, "backend", "cycles with no uops executed"},
+	UopsExecutedCoreCyclesNone:      {"UOPS_EXECUTED.CORE_CYCLES_NONE", Intel, "backend", "core cycles with no uops executed"},
+	UopsRetiredAll:                  {"UOPS_RETIRED.ALL", Intel, "backend", "uops retired"},
+	ResourceStallsAny:               {"RESOURCE_STALLS.ANY", Intel, "backend", "allocator stalls for any backend resource"},
+	RsEventsEmptyCycles:             {"RS_EVENTS.EMPTY_CYCLES", Intel, "backend", "cycles the reservation station is empty"},
+	CycleActivityStallsTotal:        {"CYCLE_ACTIVITY.STALLS_TOTAL", Intel, "backend", "total execution stall cycles"},
+	CycleActivityCyclesMemAny:       {"CYCLE_ACTIVITY.CYCLES_MEM_ANY", Intel, "memory", "cycles with an outstanding memory load"},
+	IdqDsbUops:                      {"IDQ.DSB_UOPS", Intel, "frontend", "uops delivered from the DSB (uop cache)"},
+	IdqMsDsbCycles:                  {"IDQ.MS_DSB_CYCLES", Intel, "frontend", "cycles MS uops delivered while DSB active"},
+	IdqDsbCyclesOK:                  {"IDQ.DSB_CYCLES_OK", Intel, "frontend", "cycles DSB delivered full width"},
+	IdqDsbCyclesAny:                 {"IDQ.DSB_CYCLES_ANY", Intel, "frontend", "cycles with any DSB delivery"},
+	IdqMsMiteUops:                   {"IDQ.MS_MITE_UOPS", Intel, "frontend", "uops delivered from legacy decode (MITE)"},
+	IdqAllMiteCyclesAnyUops:         {"IDQ.ALL_MITE_CYCLES_ANY_UOPS", Intel, "frontend", "cycles with any MITE delivery"},
+	IdqMsUops:                       {"IDQ.MS_UOPS", Intel, "frontend", "uops delivered by the microcode sequencer"},
+	Icache16BIfdataStall:            {"ICACHE_16B.IFDATA_STALL", Intel, "frontend", "cycles fetch stalled on icache data"},
+	DtlbLoadMissesMissCausesAWalk:   {"DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK", Intel, "memory", "DTLB load misses that started a page walk"},
+	DtlbLoadMissesWalkActive:        {"DTLB_LOAD_MISSES.WALK_ACTIVE", Intel, "memory", "cycles a D-side page walk was active"},
+	ItlbMissesWalkActive:            {"ITLB_MISSES.WALK_ACTIVE", Intel, "memory", "cycles an I-side page walk was active"},
+	MemLoadRetiredL1Miss:            {"MEM_LOAD_RETIRED.L1_MISS", Intel, "memory", "retired loads that missed L1D"},
+	MemLoadRetiredL3Miss:            {"MEM_LOAD_RETIRED.L3_MISS", Intel, "memory", "retired loads that missed L3"},
+	PageWalkerLoads:                 {"PAGE_WALKER_LOADS.TOTAL", Intel, "memory", "PTE reads performed by the page walker"},
+	BpL1BtbCorrect:                  {"bp_l1_btb_correct", AMD, "speculation", "L1 BTB correct predictions"},
+	BpL1TlbFetchHit:                 {"bp_l1_tlb_fetch_hit", AMD, "frontend", "instruction fetches hitting the L1 ITLB"},
+	DeDisUopQueueEmptyDi0:           {"de_dis_uop_queue_empty_di0", AMD, "frontend", "cycles the dispatch uop queue is empty"},
+	DeDisDispatchTokenStalls2Retire: {"de_dis_dispatch_token_stalls2.retire_token_stall", AMD, "backend", "dispatch stalls waiting for retire tokens"},
+	IcFw32:                          {"ic_fw32", AMD, "frontend", "32-byte instruction fetch windows"},
+	CyclesTotal:                     {"CPU_CLK_UNHALTED", Common, "global", "core clock cycles"},
+	InstRetired:                     {"INST_RETIRED.ANY", Common, "global", "instructions retired"},
+}
+
+// Desc returns the event's metadata.
+func (e Event) Desc() Desc { return descs[e] }
+
+// String returns the vendor event name.
+func (e Event) String() string { return descs[e].Name }
+
+// MarshalJSON encodes the event as its vendor name.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + descs[e].Name + `"`), nil
+}
+
+// AllEvents returns every defined event.
+func AllEvents() []Event {
+	out := make([]Event, NumEvents)
+	for i := range out {
+		out[i] = Event(i)
+	}
+	return out
+}
+
+// EventsForVendor returns the events a given vendor's PMU exposes (plus the
+// common ones). This is the toolset's preparation stage: the analogue of
+// harvesting Intel Perfmon / Linux perf event lists.
+func EventsForVendor(v Vendor) []Event {
+	var out []Event
+	for i := 0; i < NumEvents; i++ {
+		d := descs[i].Vendor
+		if d == v || d == Common {
+			out = append(out, Event(i))
+		}
+	}
+	return out
+}
+
+// ByName resolves a vendor event name, reporting whether it exists.
+func ByName(name string) (Event, bool) {
+	for i := 0; i < NumEvents; i++ {
+		if descs[i].Name == name {
+			return Event(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,41 @@
+package pmu
+
+// Counts is one snapshot of every counter.
+type Counts [NumEvents]uint64
+
+// Delta returns c - prev, element-wise.
+func (c Counts) Delta(prev Counts) Counts {
+	var out Counts
+	for i := range c {
+		out[i] = c[i] - prev[i]
+	}
+	return out
+}
+
+// Get returns the count for e.
+func (c Counts) Get(e Event) uint64 { return c[e] }
+
+// PMU is a bank of always-on event counters. Unlike real hardware there is
+// no programmable-counter multiplexing: the simulator can afford to count
+// everything at once, so the online collection stage reads exact values.
+type PMU struct {
+	counts Counts
+}
+
+// New returns a zeroed PMU.
+func New() *PMU { return &PMU{} }
+
+// Inc adds one to e.
+func (p *PMU) Inc(e Event) { p.counts[e]++ }
+
+// Add adds n to e.
+func (p *PMU) Add(e Event, n uint64) { p.counts[e] += n }
+
+// Read returns the current value of e.
+func (p *PMU) Read(e Event) uint64 { return p.counts[e] }
+
+// Snapshot copies all counters.
+func (p *PMU) Snapshot() Counts { return p.counts }
+
+// Reset zeroes all counters.
+func (p *PMU) Reset() { p.counts = Counts{} }

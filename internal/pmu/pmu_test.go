@@ -1,0 +1,166 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	p := New()
+	p.Inc(UopsIssuedAny)
+	p.Add(UopsIssuedAny, 4)
+	if got := p.Read(UopsIssuedAny); got != 5 {
+		t.Fatalf("Read = %d", got)
+	}
+	p.Reset()
+	if got := p.Read(UopsIssuedAny); got != 0 {
+		t.Fatalf("post-Reset Read = %d", got)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	p := New()
+	p.Add(CyclesTotal, 100)
+	before := p.Snapshot()
+	p.Add(CyclesTotal, 42)
+	p.Inc(MachineClearsCount)
+	d := p.Snapshot().Delta(before)
+	if d.Get(CyclesTotal) != 42 || d.Get(MachineClearsCount) != 1 {
+		t.Fatalf("delta = %d, %d", d.Get(CyclesTotal), d.Get(MachineClearsCount))
+	}
+	if d.Get(UopsIssuedAny) != 0 {
+		t.Fatal("untouched counter non-zero in delta")
+	}
+}
+
+func TestEventDescsComplete(t *testing.T) {
+	for _, e := range AllEvents() {
+		d := e.Desc()
+		if d.Name == "" {
+			t.Errorf("event %d has no name", e)
+		}
+		if d.Domain == "" {
+			t.Errorf("event %s has no domain", d.Name)
+		}
+		if d.Help == "" {
+			t.Errorf("event %s has no help text", d.Name)
+		}
+	}
+}
+
+func TestEventNamesUniqueAndResolvable(t *testing.T) {
+	seen := make(map[string]Event)
+	for _, e := range AllEvents() {
+		n := e.String()
+		if prev, dup := seen[n]; dup {
+			t.Fatalf("duplicate event name %q (%d and %d)", n, prev, e)
+		}
+		seen[n] = e
+		got, ok := ByName(n)
+		if !ok || got != e {
+			t.Fatalf("ByName(%q) = (%v, %v)", n, got, ok)
+		}
+	}
+	if _, ok := ByName("NO_SUCH_EVENT"); ok {
+		t.Fatal("ByName resolved a bogus name")
+	}
+}
+
+func TestEventsForVendor(t *testing.T) {
+	intel := EventsForVendor(Intel)
+	amd := EventsForVendor(AMD)
+	if len(intel) == 0 || len(amd) == 0 {
+		t.Fatal("empty vendor event list")
+	}
+	for _, e := range intel {
+		if v := e.Desc().Vendor; v != Intel && v != Common {
+			t.Errorf("intel list contains %s (vendor %d)", e, v)
+		}
+	}
+	// Table 3's key events must be present for their vendors.
+	mustHave := func(list []Event, name string) {
+		e, ok := ByName(name)
+		if !ok {
+			t.Fatalf("event %q not defined", name)
+		}
+		for _, x := range list {
+			if x == e {
+				return
+			}
+		}
+		t.Errorf("event %q missing from vendor list", name)
+	}
+	mustHave(intel, "BR_MISP_EXEC.INDIRECT")
+	mustHave(intel, "DTLB_LOAD_MISSES.WALK_ACTIVE")
+	mustHave(intel, "INT_MISC.CLEAR_RESTEER_CYCLES")
+	mustHave(amd, "de_dis_dispatch_token_stalls2.retire_token_stall")
+	mustHave(amd, "ic_fw32")
+}
+
+func TestCollect(t *testing.T) {
+	p := New()
+	i := 0
+	runs := Collect(p, 3, func() {
+		i++
+		p.Add(UopsIssuedAny, uint64(10*i))
+	})
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for k, want := range []uint64{10, 20, 30} {
+		if got := runs[k].Get(UopsIssuedAny); got != want {
+			t.Errorf("run %d = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDifferentialFiltersAndSorts(t *testing.T) {
+	mk := func(issued, stalls uint64) Run {
+		var r Run
+		r[UopsIssuedAny] = issued
+		r[ResourceStallsAny] = stalls
+		r[CyclesTotal] = 100 // identical in both: must be filtered
+		return r
+	}
+	// Scenario A: issued ~300, stalls ~15. Scenario B: issued ~300, stalls ~21.
+	a := []Run{mk(300, 15), mk(301, 15), mk(299, 16), mk(300, 15)}
+	b := []Run{mk(300, 21), mk(301, 21), mk(299, 22), mk(300, 21)}
+	diffs := Differential(a, b, AllEvents(), 4.0)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %+v, want exactly the stalls event", diffs)
+	}
+	d := diffs[0]
+	if d.Event != ResourceStallsAny {
+		t.Fatalf("top event = %s", d.Event)
+	}
+	if d.Delta() < 5 || d.Delta() > 7 {
+		t.Fatalf("delta = %v", d.Delta())
+	}
+	if d.T <= 0 {
+		t.Fatalf("t = %v, want positive (B > A)", d.T)
+	}
+}
+
+func TestDifferentialZeroVarianceSignificant(t *testing.T) {
+	mk := func(v uint64) Run {
+		var r Run
+		r[BrMispExecIndirect] = v
+		return r
+	}
+	a := []Run{mk(0), mk(0), mk(0)}
+	b := []Run{mk(1), mk(1), mk(1)}
+	diffs := Differential(a, b, []Event{BrMispExecIndirect}, 10)
+	if len(diffs) != 1 {
+		t.Fatalf("zero-variance difference filtered out: %+v", diffs)
+	}
+}
+
+func TestReport(t *testing.T) {
+	diffs := []Diff{{Event: ResourceStallsAny, MeanA: 15, MeanB: 21, T: 30}}
+	out := Report("i7-7700 TET-MD", "not-trigger", "trigger", diffs)
+	if !strings.Contains(out, "RESOURCE_STALLS.ANY") ||
+		!strings.Contains(out, "not-trigger") ||
+		!strings.Contains(out, "+6.0") {
+		t.Fatalf("Report output:\n%s", out)
+	}
+}

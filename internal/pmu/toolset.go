@@ -1,0 +1,90 @@
+package pmu
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"whisper/internal/stats"
+)
+
+// This file implements the three-stage analysis flow of the paper's
+// Figure 2: preparation (EventsForVendor in events.go), online collection
+// (Collect), and offline differential analysis (Differential).
+
+// Run is the counter delta of a single scenario execution.
+type Run = Counts
+
+// Collect executes scenario n times, snapshotting the PMU around each run,
+// and returns the per-run deltas. This is the online collection stage.
+func Collect(p *PMU, n int, scenario func()) []Run {
+	runs := make([]Run, 0, n)
+	for i := 0; i < n; i++ {
+		before := p.Snapshot()
+		scenario()
+		runs = append(runs, p.Snapshot().Delta(before))
+	}
+	return runs
+}
+
+// Diff is the offline-analysis verdict for one event across two scenarios.
+type Diff struct {
+	Event Event
+	MeanA float64 // scenario A (e.g. Jcc not triggered)
+	MeanB float64 // scenario B (e.g. Jcc triggered)
+	T     float64 // Welch's t statistic (B vs A)
+}
+
+// Delta returns MeanB - MeanA.
+func (d Diff) Delta() float64 { return d.MeanB - d.MeanA }
+
+// Differential compares two scenario collections event-by-event and returns
+// the events whose |t| exceeds threshold, sorted by descending |t|. Events
+// identical in both scenarios are filtered out — the "simple differential
+// methods to filter out the irrelevant parts" of §5.1.
+func Differential(a, b []Run, events []Event, threshold float64) []Diff {
+	var out []Diff
+	for _, e := range events {
+		xa := column(a, e)
+		xb := column(b, e)
+		t := stats.WelchT(xb, xa)
+		if math.IsInf(t, 0) {
+			// Zero variance on both sides but different means: maximally
+			// significant; keep with a large finite score for sorting.
+			t = math.Copysign(1e9, t)
+		}
+		if math.Abs(t) < threshold {
+			continue
+		}
+		out = append(out, Diff{Event: e, MeanA: stats.Mean(xa), MeanB: stats.Mean(xb), T: t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := math.Abs(out[i].T), math.Abs(out[j].T)
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out
+}
+
+func column(runs []Run, e Event) []float64 {
+	xs := make([]float64, len(runs))
+	for i, r := range runs {
+		xs[i] = float64(r[e])
+	}
+	return xs
+}
+
+// Report renders a Table 3-style report: event name, scenario means, delta.
+func Report(title, labelA, labelB string, diffs []Diff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-50s %14s %14s %10s\n", "Event", labelA, labelB, "delta")
+	for _, d := range diffs {
+		fmt.Fprintf(&b, "%-50s %14.1f %14.1f %+10.1f\n",
+			d.Event.String(), d.MeanA, d.MeanB, d.Delta())
+	}
+	return b.String()
+}

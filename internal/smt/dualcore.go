@@ -1,0 +1,150 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"whisper/internal/bpu"
+	"whisper/internal/isa"
+	"whisper/internal/kernel"
+	"whisper/internal/pipeline"
+	"whisper/internal/pmu"
+	"whisper/internal/tlb"
+)
+
+// DualCore co-schedules two hardware threads on one physical core: both
+// pipelines share the cache hierarchy, fill buffers and physical memory,
+// while architectural and most front-end state (TLBs, predictors, PMU) is
+// private, as on real SMT. The §4.4 interference channel is modelled
+// mechanically: a machine clear on either thread freezes its sibling for
+// the flush duration.
+type DualCore struct {
+	T0 *pipeline.Pipeline // the machine's primary thread
+	T1 *pipeline.Pipeline // the sibling hardware thread
+
+	seenClears0 int
+	seenClears1 int
+}
+
+// NewDualCore attaches a sibling hardware thread to a booted machine.
+func NewDualCore(k *kernel.Kernel, seed int64) (*DualCore, error) {
+	if k == nil {
+		return nil, errors.New("smt: nil kernel")
+	}
+	m := k.Machine()
+	cfg := m.Model.Pipe
+	sibling, err := pipeline.New(cfg, pipeline.Resources{
+		Hier: m.Hier, // shared with the sibling
+		LFB:  m.LFB,  // shared: the MDS surface
+		AS:   k.UserAS(),
+		DTLB: tlb.New("DTLB#1", m.Model.DTLB),
+		ITLB: tlb.New("ITLB#1", m.Model.ITLB),
+		BPU:  bpu.New(m.Model.BPU),
+		PMU:  pmu.New(),
+		Rand: rand.New(rand.NewSource(seed ^ 0x5bd1e995)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("smt: sibling thread: %w", err)
+	}
+	return &DualCore{T0: m.Pipe, T1: sibling}, nil
+}
+
+// propagate freezes each thread for the flush cost of any *new* machine
+// clear raised by its sibling.
+func (d *DualCore) propagate() {
+	c0 := d.T0.Clears()
+	for _, ev := range c0[d.seenClears0:] {
+		if ev.Kind == pipeline.ClearFault {
+			d.T1.InjectStall(ev.Cost)
+		}
+	}
+	d.seenClears0 = len(c0)
+	c1 := d.T1.Clears()
+	for _, ev := range c1[d.seenClears1:] {
+		if ev.Kind == pipeline.ClearFault {
+			d.T0.InjectStall(ev.Cost)
+		}
+	}
+	d.seenClears1 = len(c1)
+}
+
+// RunConcurrent executes one program per thread in cycle lockstep until both
+// halt (or a budget/error stops one; the sibling then runs out alone).
+func (d *DualCore) RunConcurrent(p0 *isa.Program, max0 uint64, p1 *isa.Program, max1 uint64) (pipeline.Result, pipeline.Result, error) {
+	d.T0.BeginExec(p0, max0)
+	d.T1.BeginExec(p1, max1)
+	d.seenClears0 = 0
+	d.seenClears1 = 0
+	done0, done1 := false, false
+	for !done0 || !done1 {
+		var err error
+		if !done0 {
+			done0, err = d.T0.StepCycle()
+			if err != nil {
+				return d.T0.ExecResult(), d.T1.ExecResult(), fmt.Errorf("smt: thread 0: %w", err)
+			}
+		}
+		if !done1 {
+			done1, err = d.T1.StepCycle()
+			if err != nil {
+				return d.T0.ExecResult(), d.T1.ExecResult(), fmt.Errorf("smt: thread 1: %w", err)
+			}
+		}
+		d.propagate()
+	}
+	return d.T0.ExecResult(), d.T1.ExecResult(), nil
+}
+
+// Programs for the mechanism demonstration.
+
+// TrojanProgram builds a loop of `faults` suppressed wild loads at base
+// (the §4.4 sender's "1" symbol). The returned handler index must be
+// installed as the thread's signal handler.
+func TrojanProgram(codeVA uint64, faults int64) (*isa.Program, int, error) {
+	b := isa.NewBuilder(codeVA)
+	b.MovImm(isa.R10, faults)
+	b.MovImm(isa.RBX, 0x1310000000) // unmapped
+	b.Label("again")
+	b.LoadB(isa.RAX, isa.RBX, 0) // faults; handler resumes below
+	b.Halt()                     // unreachable
+	handler := b.Pos()
+	b.Label("handler")
+	b.SubImm(isa.R10, isa.R10, 1)
+	b.CmpImm(isa.R10, 0)
+	b.Jcc(isa.CondNE, "again")
+	b.Halt()
+	p, err := b.Assemble()
+	return p, handler, err
+}
+
+// IdleProgram builds a trojan-shaped program that sends nothing (the "0"
+// symbol): it spins the same number of loop iterations without faulting.
+func IdleProgram(codeVA uint64, iters int64) (*isa.Program, error) {
+	b := isa.NewBuilder(codeVA)
+	b.MovImm(isa.R10, iters)
+	b.Label("again")
+	b.SubImm(isa.R10, isa.R10, 1)
+	b.CmpImm(isa.R10, 0)
+	b.Jcc(isa.CondNE, "again")
+	b.Halt()
+	return b.Assemble()
+}
+
+// SpyProgram builds the receiver's timed nop loop: RSI/RDI carry the RDTSC
+// pair around `iters` iterations.
+func SpyProgram(codeVA uint64, iters int64) (*isa.Program, error) {
+	b := isa.NewBuilder(codeVA)
+	b.Rdtsc(isa.RSI)
+	b.Lfence()
+	b.MovImm(isa.R11, iters)
+	b.Label("loop")
+	b.Nop()
+	b.SubImm(isa.R11, isa.R11, 1)
+	b.CmpImm(isa.R11, 0)
+	b.Jcc(isa.CondNE, "loop")
+	b.Lfence()
+	b.Rdtsc(isa.RDI)
+	b.Halt()
+	return b.Assemble()
+}

@@ -1,0 +1,141 @@
+package smt
+
+import (
+	"testing"
+
+	"whisper/internal/isa"
+	"whisper/internal/kernel"
+)
+
+const (
+	trojanCode = kernel.UserCodeBase + 0x48000
+	spyCode    = kernel.UserCodeBase + 0x50000
+)
+
+// spyTime runs the spy loop on thread 1 while thread 0 runs the given
+// program, returning the spy's measured loop time.
+func spyTime(t *testing.T, d *DualCore, t0 *isa.Program, t0Handler int) uint64 {
+	t.Helper()
+	spy, err := SpyProgram(spyCode, 55_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.T0.SetSignalHandler(t0Handler)
+	defer d.T0.SetSignalHandler(-1)
+	if _, _, err := d.RunConcurrent(t0, 5_000_000, spy, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return d.T1.Reg(isa.RDI) - d.T1.Reg(isa.RSI)
+}
+
+func TestSiblingFlushSlowsSpy(t *testing.T) {
+	k := boot(t, 301)
+	d, err := NewDualCore(k, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trojan, handler, err := TrojanProgram(trojanCode, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := IdleProgram(trojanCode+0x1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both threads' code paths.
+	spyTime(t, d, idle, -1)
+	quiet := spyTime(t, d, idle, -1)
+	noisy := spyTime(t, d, trojan, handler)
+	if noisy <= quiet+100 {
+		t.Fatalf("sibling flushes invisible to the spy: quiet=%d noisy=%d", quiet, noisy)
+	}
+}
+
+func TestDualCoreBitsDistinguishable(t *testing.T) {
+	// The §4.4 channel end to end on the mechanical substrate: the spy's
+	// loop time separates fault-burst windows from idle windows.
+	k := boot(t, 302)
+	d, err := NewDualCore(k, 302)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trojan, handler, err := TrojanProgram(trojanCode, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := IdleProgram(trojanCode+0x1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spyTime(t, d, idle, -1) // warm
+	var ones, zeros []uint64
+	for i := 0; i < 6; i++ {
+		ones = append(ones, spyTime(t, d, trojan, handler))
+		zeros = append(zeros, spyTime(t, d, idle, -1))
+	}
+	maxZero, minOne := uint64(0), ^uint64(0)
+	for _, z := range zeros {
+		if z > maxZero {
+			maxZero = z
+		}
+	}
+	for _, o := range ones {
+		if o < minOne {
+			minOne = o
+		}
+	}
+	if minOne <= maxZero {
+		t.Fatalf("bit distributions overlap: ones min %d, zeros max %d (ones=%v zeros=%v)",
+			minOne, maxZero, ones, zeros)
+	}
+}
+
+func TestDualCoreIsolatesArchitecturalState(t *testing.T) {
+	k := boot(t, 303)
+	d, err := NewDualCore(k, 303)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := IdleProgram(trojanCode, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := SpyProgram(spyCode, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.T0.SetReg(isa.RAX, 111)
+	d.T1.SetReg(isa.RAX, 222)
+	if _, _, err := d.RunConcurrent(p0, 1_000_000, p1, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if d.T0.Reg(isa.RAX) != 111 || d.T1.Reg(isa.RAX) != 222 {
+		t.Fatalf("architectural state leaked between threads: %d, %d",
+			d.T0.Reg(isa.RAX), d.T1.Reg(isa.RAX))
+	}
+}
+
+func TestNewDualCoreValidation(t *testing.T) {
+	if _, err := NewDualCore(nil, 1); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+}
+
+func TestMechanicalChannelTransfer(t *testing.T) {
+	k := boot(t, 304)
+	c, err := NewMechanicalChannel(k, 304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xC3, 0x2E}
+	res, err := c.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data[0] != payload[0] || res.Data[1] != payload[1] {
+		t.Fatalf("mechanical channel decoded %x, want %x", res.Data, payload)
+	}
+	if res.Bps <= 0 {
+		t.Fatal("no throughput accounted")
+	}
+}

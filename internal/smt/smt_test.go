@@ -1,0 +1,111 @@
+package smt
+
+import (
+	"testing"
+
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/stats"
+)
+
+func boot(t *testing.T, seed int64) *kernel.Kernel {
+	t.Helper()
+	m := cpu.MustMachine(cpu.I7_7700(), seed)
+	k, err := kernel.Boot(m, kernel.Config{KASLR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestReliableModeTransfer(t *testing.T) {
+	k := boot(t, 201)
+	c, err := NewChannel(k, ModeReliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xC3, 0x5A}
+	res, err := c.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er := stats.BitErrorRate(res.Data, payload); er >= 0.05 {
+		t.Fatalf("reliable mode bit error rate %.3f, want <5%%", er)
+	}
+	// Second-scale windows: throughput in the ~1 B/s regime.
+	if res.Bps < 0.2 || res.Bps > 10 {
+		t.Fatalf("reliable mode throughput %.2f B/s, want ~1 B/s", res.Bps)
+	}
+}
+
+func TestSecSMTModeFastButNoisy(t *testing.T) {
+	k := boot(t, 202)
+	c, err := NewChannel(k, ModeSecSMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i*37 + 11)
+	}
+	res, err := c.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := stats.BitErrorRate(res.Data, payload)
+	if er < 0.05 || er > 0.45 {
+		t.Fatalf("SecSMT mode bit error rate %.3f, want noisy (~28%%)", er)
+	}
+	// Hundreds of KB/s regime.
+	if res.Bps < 50_000 || res.Bps > 2_000_000 {
+		t.Fatalf("SecSMT throughput %.0f B/s, want ~268 KB/s regime", res.Bps)
+	}
+}
+
+func TestModesOrdering(t *testing.T) {
+	k := boot(t, 203)
+	slow, err := NewChannel(k, ModeReliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := NewChannel(k, ModeSecSMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{0xAA}
+	rs, err := slow.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fast.Transfer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Bps <= rs.Bps {
+		t.Fatalf("SecSMT (%.1f B/s) should be faster than reliable (%.1f B/s)", rf.Bps, rs.Bps)
+	}
+}
+
+func TestNewChannelValidation(t *testing.T) {
+	if _, err := NewChannel(nil, ModeReliable); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+	k := boot(t, 204)
+	if _, err := NewChannel(k, Mode(99)); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+func TestCalibrateFindsSignal(t *testing.T) {
+	k := boot(t, 205)
+	c, err := NewChannel(k, ModeReliable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Calibrate(4); err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if c.threshold <= 0 || c.threshold >= float64(c.BitWindow) {
+		t.Fatalf("threshold %v outside window", c.threshold)
+	}
+}

@@ -1,0 +1,276 @@
+// Package stats provides the statistical machinery the attacks use to decode
+// timing measurements: histograms (the paper's Fig. 1b frequency plots),
+// argmax/argmin voting, dispersion measures, and throughput/error-rate
+// reporting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of uint64 samples (cycle counts).
+type Histogram struct {
+	counts map[uint64]int
+	n      int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[uint64]int)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.counts[v]++
+	h.n++
+}
+
+// N returns the number of samples recorded.
+func (h *Histogram) N() int { return h.n }
+
+// Count returns how many times v was recorded.
+func (h *Histogram) Count(v uint64) int { return h.counts[v] }
+
+// Mode returns the most frequent sample and its count; ties break toward the
+// smaller value for determinism.
+func (h *Histogram) Mode() (uint64, int) {
+	var best uint64
+	bestN := -1
+	for v, c := range h.counts {
+		if c > bestN || (c == bestN && v < best) {
+			best, bestN = v, c
+		}
+	}
+	if bestN < 0 {
+		return 0, 0
+	}
+	return best, bestN
+}
+
+// Quantile returns the q-th (0..1) sample value.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	keys := make([]uint64, 0, len(h.counts))
+	for v := range h.counts {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	target := int(q * float64(h.n-1))
+	seen := 0
+	for _, v := range keys {
+		seen += h.counts[v]
+		if seen > target {
+			return v
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Render draws an ASCII frequency plot (value, count, bar) of up to maxRows
+// most-frequent buckets, sorted by value — the textual form of Fig. 1b.
+func (h *Histogram) Render(maxRows int) string {
+	type kv struct {
+		v uint64
+		c int
+	}
+	all := make([]kv, 0, len(h.counts))
+	for v, c := range h.counts {
+		all = append(all, kv{v, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	if len(all) > maxRows {
+		all = all[:maxRows]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	var b strings.Builder
+	maxC := 1
+	for _, e := range all {
+		if e.c > maxC {
+			maxC = e.c
+		}
+	}
+	for _, e := range all {
+		bar := strings.Repeat("#", 1+e.c*40/maxC)
+		fmt.Fprintf(&b, "%8d | %6d %s\n", e.v, e.c, bar)
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median of xs without mutating it.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	m := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[m]
+	}
+	return (c[m-1] + c[m]) / 2
+}
+
+// MedianU64 returns the median of unsigned samples without mutating them.
+func MedianU64(xs []uint64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]uint64(nil), xs...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c[len(c)/2]
+}
+
+// WelchT returns Welch's t statistic for two samples (0 if degenerate).
+// Large |t| means the means differ beyond their pooled noise — the filter
+// the PMU toolset's offline stage uses.
+func WelchT(a, b []float64) float64 {
+	if len(a) < 2 || len(b) < 2 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := StdDev(a), StdDev(b)
+	va, vb = va*va, vb*vb
+	den := math.Sqrt(va/float64(len(a)) + vb/float64(len(b)))
+	if den == 0 {
+		if ma == mb {
+			return 0
+		}
+		return math.Inf(1) * sign(ma-mb)
+	}
+	return (ma - mb) / den
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Argmax returns the index of the largest element (first on ties), -1 if
+// empty.
+func Argmax(xs []uint64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Argmin returns the index of the smallest element (first on ties), -1 if
+// empty.
+func Argmin(xs []uint64) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgmaxInt is Argmax for int slices (vote tallies).
+func ArgmaxInt(xs []int) int {
+	best := -1
+	for i, x := range xs {
+		if best < 0 || x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ByteErrorRate returns the fraction of positions where got differs from
+// want; lengths must match or the excess counts as errors.
+func ByteErrorRate(got, want []byte) float64 {
+	n := len(want)
+	if len(got) > n {
+		n = len(got)
+	}
+	if n == 0 {
+		return 0
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		var g, w byte
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			errs++
+		}
+	}
+	return float64(errs) / float64(n)
+}
+
+// BitErrorRate returns the fraction of differing bits.
+func BitErrorRate(got, want []byte) float64 {
+	n := len(want)
+	if len(got) > n {
+		n = len(got)
+	}
+	if n == 0 {
+		return 0
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		var g, w byte
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		d := g ^ w
+		for d != 0 {
+			errs += int(d & 1)
+			d >>= 1
+		}
+	}
+	return float64(errs) / float64(n*8)
+}
+
+// Throughput converts a byte count and simulated cycle count at clock hz
+// into bytes per second.
+func Throughput(bytes int, cycles uint64, hz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(bytes) / (float64(cycles) / hz)
+}

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if v, c := h.Mode(); v != 0 || c != 0 {
+		t.Fatalf("empty Mode = %d,%d", v, c)
+	}
+	for _, v := range []uint64{10, 10, 10, 20, 20, 30} {
+		h.Add(v)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if v, c := h.Mode(); v != 10 || c != 3 {
+		t.Fatalf("Mode = %d,%d", v, c)
+	}
+	if h.Count(20) != 2 {
+		t.Fatalf("Count(20) = %d", h.Count(20))
+	}
+}
+
+func TestHistogramModeTieBreak(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	h.Add(3)
+	if v, _ := h.Mode(); v != 3 {
+		t.Fatalf("tie Mode = %d, want smaller value 3", v)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	for i := uint64(1); i <= 100; i++ {
+		h.Add(i)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("Q0 = %d", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Errorf("Q1 = %d", q)
+	}
+	med := h.Quantile(0.5)
+	if med < 49 || med > 52 {
+		t.Errorf("median = %d", med)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 5; i++ {
+		h.Add(100)
+	}
+	h.Add(200)
+	out := h.Render(10)
+	if !strings.Contains(out, "100") || !strings.Contains(out, "#") {
+		t.Fatalf("Render output missing content:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2 {
+		t.Fatalf("Render lines = %d, want 2", lines)
+	}
+}
+
+func TestMeanStdMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if m := Median(xs); m != 4.5 {
+		t.Errorf("Median = %v", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd Median = %v", m)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-input moments non-zero")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMedianU64(t *testing.T) {
+	if m := MedianU64([]uint64{9, 1, 5}); m != 5 {
+		t.Fatalf("MedianU64 = %d", m)
+	}
+	if m := MedianU64(nil); m != 0 {
+		t.Fatalf("empty MedianU64 = %d", m)
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	a := []float64{10, 11, 9, 10, 10}
+	b := []float64{20, 21, 19, 20, 20}
+	if tt := WelchT(a, b); tt > -5 {
+		t.Errorf("WelchT(a,b) = %v, want strongly negative", tt)
+	}
+	if tt := WelchT(a, a); tt != 0 {
+		t.Errorf("WelchT(a,a) = %v", tt)
+	}
+	if tt := WelchT(a, nil); tt != 0 {
+		t.Errorf("degenerate WelchT = %v", tt)
+	}
+	// Zero-variance unequal means: +Inf magnitude, correct sign.
+	c := []float64{1, 1}
+	d := []float64{2, 2}
+	if tt := WelchT(d, c); !math.IsInf(tt, 1) {
+		t.Errorf("zero-variance WelchT = %v", tt)
+	}
+}
+
+func TestArgmaxArgmin(t *testing.T) {
+	xs := []uint64{3, 9, 1, 9}
+	if i := Argmax(xs); i != 1 {
+		t.Errorf("Argmax = %d", i)
+	}
+	if i := Argmin(xs); i != 2 {
+		t.Errorf("Argmin = %d", i)
+	}
+	if Argmax(nil) != -1 || Argmin(nil) != -1 {
+		t.Error("empty arg* != -1")
+	}
+	if i := ArgmaxInt([]int{0, 5, 5}); i != 1 {
+		t.Errorf("ArgmaxInt tie = %d", i)
+	}
+}
+
+func TestErrorRates(t *testing.T) {
+	if r := ByteErrorRate([]byte{1, 2, 3}, []byte{1, 2, 3}); r != 0 {
+		t.Errorf("identical ByteErrorRate = %v", r)
+	}
+	if r := ByteErrorRate([]byte{1, 0, 3}, []byte{1, 2, 3}); math.Abs(r-1.0/3) > 1e-9 {
+		t.Errorf("ByteErrorRate = %v", r)
+	}
+	if r := ByteErrorRate([]byte{1, 2}, []byte{1, 2, 3}); math.Abs(r-1.0/3) > 1e-9 {
+		t.Errorf("short ByteErrorRate = %v", r)
+	}
+	if r := ByteErrorRate(nil, nil); r != 0 {
+		t.Errorf("empty ByteErrorRate = %v", r)
+	}
+	if r := BitErrorRate([]byte{0xff}, []byte{0x00}); r != 1 {
+		t.Errorf("BitErrorRate = %v", r)
+	}
+	if r := BitErrorRate([]byte{0x0f}, []byte{0x00}); r != 0.5 {
+		t.Errorf("BitErrorRate = %v", r)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// 1000 bytes in 3.6e9 cycles at 3.6 GHz = 1000 B/s.
+	if th := Throughput(1000, 3_600_000_000, 3.6e9); math.Abs(th-1000) > 1e-6 {
+		t.Errorf("Throughput = %v", th)
+	}
+	if th := Throughput(1000, 0, 3.6e9); th != 0 {
+		t.Errorf("zero-cycle Throughput = %v", th)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	h := NewHistogram()
+	f := func(vals []uint16) bool {
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		if h.N() == 0 {
+			return true
+		}
+		return h.Quantile(0.25) <= h.Quantile(0.75)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package tlb implements translation lookaside buffers with separate 4 KiB
+// and 2 MiB partitions, matching the structure the paper's TET-KASLR attack
+// exploits: on the modelled Intel parts, permission-faulting accesses to
+// *mapped* addresses still allocate TLB entries, while unmapped addresses
+// cannot be cached at all, so they page-walk on every probe.
+package tlb
+
+import "whisper/internal/paging"
+
+// assoc is one set-associative translation array with true-LRU replacement.
+type assoc struct {
+	nsets int
+	ways  int
+	ents  []entry
+	tick  uint64
+}
+
+type entry struct {
+	vpn    uint64
+	pfn    uint64
+	flags  uint64
+	global bool
+	valid  bool
+	used   uint64
+}
+
+func newAssoc(entries, ways int) *assoc {
+	if entries%ways != 0 {
+		panic("tlb: entries not divisible by ways")
+	}
+	return &assoc{nsets: entries / ways, ways: ways, ents: make([]entry, entries)}
+}
+
+func (a *assoc) set(vpn uint64) []entry {
+	i := int(vpn % uint64(a.nsets))
+	return a.ents[i*a.ways : (i+1)*a.ways]
+}
+
+func (a *assoc) lookup(vpn uint64) (entry, bool) {
+	a.tick++
+	set := a.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].used = a.tick
+			return set[i], true
+		}
+	}
+	return entry{}, false
+}
+
+func (a *assoc) insert(e entry) {
+	a.tick++
+	e.used = a.tick
+	e.valid = true
+	set := a.set(e.vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == e.vpn {
+			set[i] = e
+			return
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = e
+			return
+		}
+	}
+	victim := 0
+	for i := range set {
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = e
+}
+
+func (a *assoc) invalidate(vpn uint64) bool {
+	set := a.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
+			return true
+		}
+	}
+	return false
+}
+
+func (a *assoc) flush(keepGlobal bool) {
+	for i := range a.ents {
+		if a.ents[i].valid && !(keepGlobal && a.ents[i].global) {
+			a.ents[i].valid = false
+		}
+	}
+}
+
+func (a *assoc) countValid() int {
+	n := 0
+	for i := range a.ents {
+		if a.ents[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Config sizes a TLB.
+type Config struct {
+	Entries4K int
+	Ways4K    int
+	Entries2M int
+	Ways2M    int
+}
+
+// DefaultDTLBConfig matches a Skylake-class DTLB.
+func DefaultDTLBConfig() Config {
+	return Config{Entries4K: 64, Ways4K: 4, Entries2M: 32, Ways2M: 4}
+}
+
+// DefaultITLBConfig matches a Skylake-class ITLB.
+func DefaultITLBConfig() Config {
+	return Config{Entries4K: 128, Ways4K: 8, Entries2M: 8, Ways2M: 8}
+}
+
+// TLB is one translation buffer (data- or instruction-side).
+type TLB struct {
+	name   string
+	small  *assoc
+	large  *assoc
+	hits   uint64
+	misses uint64
+}
+
+// New builds a TLB with the given geometry.
+func New(name string, cfg Config) *TLB {
+	return &TLB{
+		name:  name,
+		small: newAssoc(cfg.Entries4K, cfg.Ways4K),
+		large: newAssoc(cfg.Entries2M, cfg.Ways2M),
+	}
+}
+
+// Result is a successful translation.
+type Result struct {
+	PA    uint64
+	Flags uint64
+	Huge  bool
+}
+
+// Lookup translates va, checking the 2 MiB partition first (as hardware
+// does for huge mappings), then the 4 KiB partition.
+func (t *TLB) Lookup(va uint64) (Result, bool) {
+	if e, ok := t.large.lookup(va >> 21); ok {
+		t.hits++
+		return Result{PA: e.pfn<<21 | va&(paging.PageSize2M-1), Flags: e.flags, Huge: true}, true
+	}
+	if e, ok := t.small.lookup(va >> 12); ok {
+		t.hits++
+		return Result{PA: e.pfn<<12 | va&(paging.PageSize4K-1), Flags: e.flags}, true
+	}
+	t.misses++
+	return Result{}, false
+}
+
+// Insert caches a completed present walk. Non-present walks are never
+// cacheable (there is nothing to cache), which is precisely why unmapped
+// kernel addresses page-walk on every TET-KASLR probe.
+func (t *TLB) Insert(w paging.Walk) {
+	if !w.Present {
+		return
+	}
+	e := entry{flags: w.Flags, global: w.Flags&paging.FlagG != 0}
+	if w.Huge {
+		e.vpn = w.VA >> 21
+		e.pfn = w.PA >> 21
+		t.large.insert(e)
+		return
+	}
+	e.vpn = w.VA >> 12
+	e.pfn = w.PA >> 12
+	t.small.insert(e)
+}
+
+// InvalidatePage drops any entry translating va (invlpg).
+func (t *TLB) InvalidatePage(va uint64) bool {
+	s := t.small.invalidate(va >> 12)
+	l := t.large.invalidate(va >> 21)
+	return s || l
+}
+
+// Flush drops entries, keeping global ones if keepGlobal (a CR3 write).
+func (t *TLB) Flush(keepGlobal bool) {
+	t.small.flush(keepGlobal)
+	t.large.flush(keepGlobal)
+}
+
+// Flush4K drops every entry in the 4 KiB partition only, modelling a
+// capacity-eviction sweep an unprivileged attacker performs by touching one
+// page per 4K-partition set. 2 MiB entries survive — the asymmetry the
+// FLARE-bypass probe exploits (kernel image pages are 2 MiB, FLARE dummies
+// are 4 KiB).
+func (t *TLB) Flush4K() {
+	t.small.flush(false)
+}
+
+// ValidEntries returns the number of live entries across both partitions.
+func (t *TLB) ValidEntries() int {
+	return t.small.countValid() + t.large.countValid()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Name returns the TLB's name.
+func (t *TLB) Name() string { return t.name }

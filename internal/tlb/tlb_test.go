@@ -1,0 +1,152 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"whisper/internal/paging"
+)
+
+func walk4K(va, pa, flags uint64) paging.Walk {
+	return paging.Walk{VA: va, PA: pa, Flags: flags | paging.FlagP, Present: true}
+}
+
+func walk2M(va, pa, flags uint64) paging.Walk {
+	return paging.Walk{VA: va, PA: pa, Flags: flags | paging.FlagP, Present: true, Huge: true}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tl := New("dtlb", DefaultDTLBConfig())
+	va := uint64(0x400000)
+	if _, ok := tl.Lookup(va); ok {
+		t.Fatal("cold lookup hit")
+	}
+	tl.Insert(walk4K(va, 0x200000, paging.FlagU))
+	r, ok := tl.Lookup(va + 0x123)
+	if !ok {
+		t.Fatal("lookup after insert missed")
+	}
+	if r.PA != 0x200000+0x123 {
+		t.Fatalf("PA = %#x", r.PA)
+	}
+	if r.Huge {
+		t.Fatal("4K entry reported huge")
+	}
+	hits, misses := tl.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestHugeEntryPartition(t *testing.T) {
+	tl := New("dtlb", DefaultDTLBConfig())
+	va := uint64(0xffffffff80000000)
+	tl.Insert(walk2M(va, 0x40000000, paging.FlagG))
+	r, ok := tl.Lookup(va + 0x1fffff)
+	if !ok || !r.Huge {
+		t.Fatalf("huge lookup = %+v, %v", r, ok)
+	}
+	if r.PA != 0x40000000+0x1fffff {
+		t.Fatalf("PA = %#x", r.PA)
+	}
+	// A 4K lookup in a different 2M region must miss.
+	if _, ok := tl.Lookup(va + paging.PageSize2M); ok {
+		t.Fatal("adjacent huge region hit")
+	}
+}
+
+func TestNonPresentWalkNotCached(t *testing.T) {
+	tl := New("dtlb", DefaultDTLBConfig())
+	tl.Insert(paging.Walk{VA: 0x1000}) // not present
+	if tl.ValidEntries() != 0 {
+		t.Fatal("non-present walk cached")
+	}
+}
+
+func TestInvalidatePage(t *testing.T) {
+	tl := New("dtlb", DefaultDTLBConfig())
+	tl.Insert(walk4K(0x1000, 0x2000, 0))
+	if !tl.InvalidatePage(0x1000) {
+		t.Fatal("InvalidatePage of present entry returned false")
+	}
+	if _, ok := tl.Lookup(0x1000); ok {
+		t.Fatal("entry survives invlpg")
+	}
+	if tl.InvalidatePage(0x1000) {
+		t.Fatal("double invalidate returned true")
+	}
+}
+
+func TestFlushKeepsGlobal(t *testing.T) {
+	tl := New("dtlb", DefaultDTLBConfig())
+	tl.Insert(walk4K(0x1000, 0x2000, 0))            // non-global
+	tl.Insert(walk4K(0x3000, 0x4000, paging.FlagG)) // global
+	tl.Insert(walk2M(0x40000000, 0x800000, paging.FlagG))
+	tl.Flush(true)
+	if _, ok := tl.Lookup(0x1000); ok {
+		t.Fatal("non-global entry survives CR3 flush")
+	}
+	if _, ok := tl.Lookup(0x3000); !ok {
+		t.Fatal("global 4K entry lost on CR3 flush")
+	}
+	if _, ok := tl.Lookup(0x40000000); !ok {
+		t.Fatal("global 2M entry lost on CR3 flush")
+	}
+	tl.Flush(false)
+	if tl.ValidEntries() != 0 {
+		t.Fatal("full flush left entries")
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	cfg := Config{Entries4K: 8, Ways4K: 2, Entries2M: 4, Ways2M: 2} // 4 sets
+	tl := New("t", cfg)
+	sets := uint64(4)
+	vaOf := func(i uint64) uint64 { return (i*sets + 0) << 12 } // all in set 0
+	tl.Insert(walk4K(vaOf(0), 0x1000, 0))
+	tl.Insert(walk4K(vaOf(1), 0x2000, 0))
+	tl.Lookup(vaOf(0)) // entry 1 becomes LRU
+	tl.Insert(walk4K(vaOf(2), 0x3000, 0))
+	if _, ok := tl.Lookup(vaOf(1)); ok {
+		t.Fatal("LRU entry survived")
+	}
+	if _, ok := tl.Lookup(vaOf(0)); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	tl := New("dtlb", DefaultDTLBConfig())
+	tl.Insert(walk4K(0x1000, 0x2000, 0))
+	tl.Insert(walk4K(0x1000, 0x9000, paging.FlagU)) // remap
+	r, ok := tl.Lookup(0x1000)
+	if !ok || r.PA != 0x9000 {
+		t.Fatalf("updated entry = %+v, %v", r, ok)
+	}
+	if tl.ValidEntries() != 1 {
+		t.Fatalf("duplicate entries: %d", tl.ValidEntries())
+	}
+}
+
+func TestTranslationConsistencyProperty(t *testing.T) {
+	tl := New("dtlb", DefaultDTLBConfig())
+	f := func(page uint16, off uint16) bool {
+		va := uint64(page) << 12
+		pa := uint64(page)<<12 | 0x100000000
+		tl.Insert(walk4K(va, pa, paging.FlagU))
+		r, ok := tl.Lookup(va | uint64(off)&0xfff)
+		return ok && r.PA == pa|uint64(off)&0xfff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry did not panic")
+		}
+	}()
+	New("bad", Config{Entries4K: 7, Ways4K: 2, Entries2M: 4, Ways2M: 2})
+}

@@ -1,0 +1,162 @@
+// Package trace collects uop lifetime records from a pipeline and renders
+// them as ASCII pipeline (Gantt) diagrams — the visual form of the transient
+// window the Whisper channel times. Squashed rows are the transient
+// execution the architecture pretends never happened.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"whisper/internal/pipeline"
+)
+
+// Collector buffers trace records in machine order.
+type Collector struct {
+	recs []pipeline.TraceRecord
+	cap  int
+}
+
+// NewCollector returns a collector keeping at most capacity records
+// (0 = unbounded).
+func NewCollector(capacity int) *Collector {
+	return &Collector{cap: capacity}
+}
+
+// Attach installs the collector on a pipeline; detach with
+// p.SetTracer(nil).
+func (c *Collector) Attach(p *pipeline.Pipeline) {
+	p.SetTracer(c.add)
+}
+
+func (c *Collector) add(r pipeline.TraceRecord) {
+	if c.cap > 0 && len(c.recs) >= c.cap {
+		copy(c.recs, c.recs[1:])
+		c.recs[len(c.recs)-1] = r
+		return
+	}
+	c.recs = append(c.recs, r)
+}
+
+// Reset drops all buffered records.
+func (c *Collector) Reset() { c.recs = c.recs[:0] }
+
+// Records returns the buffered records in emission order.
+func (c *Collector) Records() []pipeline.TraceRecord { return c.recs }
+
+// Stats summarises a record buffer.
+type Stats struct {
+	Total    int
+	Retired  int
+	Squashed int // transient uops
+	Faults   int
+}
+
+// Summarise computes Stats over the buffer.
+func (c *Collector) Summarise() Stats {
+	var s Stats
+	for _, r := range c.recs {
+		s.Total++
+		if r.Retired {
+			s.Retired++
+		} else {
+			s.Squashed++
+		}
+		if r.Fault != "" {
+			s.Faults++
+		}
+	}
+	return s
+}
+
+// Render draws the records as a pipeline diagram. Lanes (per cycle, one
+// column): F fetch, I issue, E execute start, = in execution, C complete,
+// R retire, X squash. Rows are uops in fetch order; width columns cover the
+// span from the first fetch to the last end (clamped).
+//
+//	0: rdtsc rsi      FI E=========C R
+//	3: load1 rax,...  .FI E======================X   (transient)
+func Render(recs []pipeline.TraceRecord, width int) string {
+	if len(recs) == 0 {
+		return "(no trace)\n"
+	}
+	if width <= 0 {
+		width = 96
+	}
+	start := recs[0].FetchAt
+	end := recs[0].EndAt
+	for _, r := range recs {
+		if r.FetchAt < start {
+			start = r.FetchAt
+		}
+		if r.EndAt > end {
+			end = r.EndAt
+		}
+	}
+	span := end - start + 1
+	scale := 1.0
+	if span > uint64(width) {
+		scale = float64(width) / float64(span)
+	}
+	col := func(cycle uint64) int {
+		c := int(float64(cycle-start) * scale)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline trace: cycles %d..%d (%d uops; 1 col ≈ %.1f cycles)\n",
+		start, end, len(recs), 1/scale)
+	for _, r := range recs {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		mark := func(cycle uint64, ch byte) {
+			if cycle < start || cycle > end {
+				return
+			}
+			c := col(cycle)
+			if lane[c] == ' ' || lane[c] == '=' {
+				lane[c] = ch
+			}
+		}
+		if r.StartAt != 0 && r.DoneAt > r.StartAt {
+			for cy := r.StartAt; cy <= r.DoneAt && cy <= end; cy++ {
+				lane[col(cy)] = '='
+			}
+		}
+		mark(r.FetchAt, 'F')
+		mark(r.IssueAt, 'I')
+		if r.StartAt != 0 {
+			mark(r.StartAt, 'E')
+		}
+		if r.DoneAt != 0 {
+			mark(r.DoneAt, 'C')
+		}
+		if r.Retired {
+			mark(r.EndAt, 'R')
+		} else {
+			mark(r.EndAt, 'X')
+		}
+		tag := ""
+		if !r.Retired {
+			tag = "  (transient"
+			if r.Fault != "" {
+				tag += ", " + r.Fault + " fault"
+			}
+			tag += ")"
+		}
+		fmt.Fprintf(&b, "%4d: %-22s %s%s\n", r.Seq, clip(r.Text, 22), string(lane), tag)
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

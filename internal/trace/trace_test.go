@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/pipeline"
+)
+
+func bootTraced(t *testing.T) (*kernel.Kernel, *Collector) {
+	t.Helper()
+	m := cpu.MustMachine(cpu.I7_7700(), 5)
+	k, err := kernel.Boot(m, kernel.Config{KASLR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(0)
+	c.Attach(m.Pipe)
+	return k, c
+}
+
+func TestCollectorCapturesTransientWindow(t *testing.T) {
+	k, c := bootTraced(t)
+	pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Probe(core.UnmappedVA, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Summarise()
+	if s.Total == 0 {
+		t.Fatal("no records collected")
+	}
+	if s.Squashed == 0 {
+		t.Fatal("probe produced no transient (squashed) uops")
+	}
+	if s.Retired == 0 {
+		t.Fatal("probe retired nothing")
+	}
+	if s.Faults == 0 {
+		t.Fatal("faulting load not recorded")
+	}
+	// Timestamps must be ordered within each record (IssueAt is zero for
+	// uops squashed straight out of the IDQ).
+	for _, r := range c.Records() {
+		if r.IssueAt != 0 && r.IssueAt < r.FetchAt {
+			t.Fatalf("issue before fetch: %+v", r)
+		}
+		if r.EndAt < r.FetchAt {
+			t.Fatalf("end before fetch: %+v", r)
+		}
+	}
+}
+
+func TestRenderShowsLanes(t *testing.T) {
+	k, c := bootTraced(t)
+	pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pr.Probe(core.UnmappedVA, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := Render(c.Records(), 80)
+	for _, want := range []string{"pipeline trace", "transient", "not-present fault", "R"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Every record gets a row (+1 header line).
+	if got := strings.Count(out, "\n"); got != len(c.Records())+1 {
+		t.Fatalf("rows = %d, want %d", got, len(c.Records())+1)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, 40); !strings.Contains(out, "no trace") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestCollectorCapacity(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 10; i++ {
+		c.add(pipeline.TraceRecord{Seq: uint64(i)})
+	}
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[0].Seq != 7 || recs[2].Seq != 9 {
+		t.Fatalf("ring kept wrong records: %+v", recs)
+	}
+	c.Reset()
+	if len(c.Records()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTracerDoesNotPerturbTiming(t *testing.T) {
+	measure := func(attach bool) uint64 {
+		m := cpu.MustMachine(cpu.I7_7700(), 5)
+		k, err := kernel.Boot(m, kernel.Config{KASLR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach {
+			NewCollector(0).Attach(m.Pipe)
+		}
+		pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var last uint64
+		for i := 0; i < 5; i++ {
+			last, err = pr.Probe(core.UnmappedVA, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return last
+	}
+	if a, b := measure(false), measure(true); a != b {
+		t.Fatalf("tracing changed timing: %d vs %d", a, b)
+	}
+}
