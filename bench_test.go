@@ -460,6 +460,44 @@ func BenchmarkProbe(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeTracingOverhead compares the probe hot path with
+// observability disabled (the default: Machine.Obs == nil, instrumentation
+// collapses to one nil check) and fully enabled (spans + metrics + pipeline
+// ring + per-probe PMU samples). The disabled variant is the overhead
+// contract: it must stay within noise of BenchmarkProbe, and the allocation
+// figure it reports is pure simulator work (the pipeline frontend allocates
+// its uop records whether or not anyone is watching) — the instrumentation
+// itself adds zero bytes, which internal/obs's
+// TestDisabledInstrumentationZeroAlloc pins exactly.
+func BenchmarkProbeTracingOverhead(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		enabled bool
+	}{
+		{"Disabled", false},
+		{"Enabled", true},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			k := bootBench(b, cpu.I7_7700(), kernel.Config{KASLR: true}, 13)
+			if bc.enabled {
+				k.Machine().EnableObs()
+			}
+			pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pr.Probe(core.UnmappedVA, uint64(i%256), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMitigationMatrix regenerates the §6 defense × attack matrix
 // (E16): InvisiSpec vs TET/F+R Meltdown, KPTI, VERW scrubbing, microcode.
 func BenchmarkMitigationMatrix(b *testing.B) {

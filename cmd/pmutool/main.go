@@ -4,11 +4,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"whisper/internal/experiments"
+	"whisper/internal/obs"
 	"whisper/internal/pmu"
 )
 
@@ -20,16 +22,41 @@ func main() {
 		vendor = flag.String("vendor", "intel", "event vendor for -events: intel|amd")
 		seed   = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
 		topN   = flag.Int("top", 12, "significant events to show per scene")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+
+		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
 	)
 	flag.Parse()
 	if !*table3 && !*flow && !*events {
 		*flow = true
 	}
 
+	var reg *obs.Registry
+	if *traceOut != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "pmutool:", err)
+		os.Exit(1)
+	}
+
 	if *events {
 		v := pmu.Intel
 		if *vendor == "amd" {
 			v = pmu.AMD
+		}
+		if *asJSON {
+			descs := []pmu.Desc{}
+			for _, e := range pmu.EventsForVendor(v) {
+				descs = append(descs, e.Desc())
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", " ")
+			if err := enc.Encode(descs); err != nil {
+				fail(err)
+			}
+			return
 		}
 		fmt.Printf("stage 1 (preparation): %s PMU event records\n", *vendor)
 		for _, e := range pmu.EventsForVendor(v) {
@@ -39,29 +66,71 @@ func main() {
 		return
 	}
 
+	sp := reg.StartWallSpan("pmutool.table3")
 	scenes, err := experiments.Table3(*seed)
+	sp.End(0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pmutool:", err)
-		os.Exit(1)
+		fail(err)
 	}
-
-	if *flow {
-		fmt.Println("PMU analysis flow (paper Fig. 2):")
-		fmt.Println("  stage 1  preparation: harvest the vendor's event records (-events)")
-		fmt.Println("  stage 2  online collection: run each scenario pair, snapshot all counters per run")
-		fmt.Println("  stage 3  offline analysis: differential filter (Welch t) surfaces the relevant events")
-		fmt.Println()
-		for _, s := range scenes {
-			diffs := s.Diffs
-			if len(diffs) > *topN {
-				diffs = diffs[:*topN]
-			}
-			fmt.Println(pmu.Report(
-				fmt.Sprintf("%s — %s (top %d significant events)", s.CPU, s.Name, len(diffs)),
-				s.LabelA, s.LabelB, diffs))
+	for _, s := range scenes {
+		reg.Counter("pmutool.scenes").Inc()
+		for _, d := range s.Diffs {
+			reg.Gauge("pmu.t", obs.L("scene", s.Name), obs.L("event", d.Event.String())).Set(d.T)
 		}
 	}
-	if *table3 {
-		fmt.Println(experiments.RenderTable3(scenes))
+
+	if *asJSON {
+		// Re-encode each scene's differential result through the obs metrics
+		// snapshot: per (scene, event) gauges for both scenario means and the
+		// Welch t statistic, serialised by the shared encoder.
+		r := obs.NewRegistry()
+		for _, s := range scenes {
+			for _, d := range s.Diffs {
+				ls := []obs.Label{
+					obs.L("cpu", s.CPU),
+					obs.L("scene", s.Name),
+					obs.L("event", d.Event.String()),
+				}
+				r.Gauge("pmu.meanA", ls...).Set(d.MeanA)
+				r.Gauge("pmu.meanB", ls...).Set(d.MeanB)
+				r.Gauge("pmu.welch_t", ls...).Set(d.T)
+			}
+		}
+		if err := r.Snapshot().WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	} else {
+		if *flow {
+			fmt.Println("PMU analysis flow (paper Fig. 2):")
+			fmt.Println("  stage 1  preparation: harvest the vendor's event records (-events)")
+			fmt.Println("  stage 2  online collection: run each scenario pair, snapshot all counters per run")
+			fmt.Println("  stage 3  offline analysis: differential filter (Welch t) surfaces the relevant events")
+			fmt.Println()
+			for _, s := range scenes {
+				diffs := s.Diffs
+				if len(diffs) > *topN {
+					diffs = diffs[:*topN]
+				}
+				fmt.Println(pmu.Report(
+					fmt.Sprintf("%s — %s (top %d significant events)", s.CPU, s.Name, len(diffs)),
+					s.LabelA, s.LabelB, diffs))
+			}
+		}
+		if *table3 {
+			fmt.Println(experiments.RenderTable3(scenes))
+		}
+	}
+
+	if *traceOut != "" {
+		if err := reg.WriteTraceFile(*traceOut, nil); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteMetricsFile(*metricsOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
 	}
 }

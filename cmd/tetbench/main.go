@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"whisper/internal/experiments"
+	"whisper/internal/obs"
 )
 
 func main() {
@@ -18,14 +19,41 @@ func main() {
 		bytes  = flag.Int("bytes", 32, "payload size for throughput experiments")
 		reps   = flag.Int("reps", 16, "probes per KASLR candidate slot")
 		asJSON = flag.Bool("json", false, "run everything and emit one JSON report to stdout")
+
+		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
 	)
 	flag.Parse()
+
+	// Each experiment crosses several simulated machines, so tetbench records
+	// wall-clock stage spans; nil (no flag) keeps the runs uninstrumented.
+	var reg *obs.Registry
+	if *traceOut != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	writeOutputs := func() {
+		if *traceOut != "" {
+			if err := reg.WriteTraceFile(*traceOut, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "tetbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := reg.WriteMetricsFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "tetbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+		}
+	}
 
 	if *asJSON {
 		params := experiments.DefaultReportParams()
 		params.Seed = *seed
 		params.ThroughputBytes = *bytes
 		params.KASLRReps = *reps
+		params.Obs = reg
 		report, err := experiments.RunAll(params)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tetbench:", err)
@@ -35,6 +63,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tetbench:", err)
 			os.Exit(1)
 		}
+		writeOutputs()
 		return
 	}
 
@@ -42,10 +71,17 @@ func main() {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := f(); err != nil {
+		sp := reg.StartWallSpan("tetbench." + name)
+		err := f()
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End(0)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "tetbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		reg.Counter("tetbench.experiments").Inc()
 	}
 
 	run("table1", func() error {
@@ -152,4 +188,5 @@ func main() {
 		fmt.Println(experiments.RenderNoiseSweep(pts))
 		return nil
 	})
+	writeOutputs()
 }

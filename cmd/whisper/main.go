@@ -36,6 +36,9 @@ func main() {
 		flare   = flag.Bool("flare", false, "enable FLARE")
 		docker  = flag.Bool("docker", false, "run the attacker inside a container")
 		showWin = flag.Bool("trace", false, "after the attack, render one probe's pipeline diagram")
+
+		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
 	)
 	flag.Parse()
 
@@ -50,6 +53,11 @@ func main() {
 	m, err := cpu.NewMachine(model, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		// Observability stays nil (zero-overhead) unless an output was asked
+		// for. Enable before Boot so the kernel.boot span lands on the trace.
+		m.EnableObs()
 	}
 	k, err := kernel.Boot(m, kernel.Config{KASLR: true, KPTI: *kpti, FLARE: *flare, Docker: *docker})
 	if err != nil {
@@ -166,6 +174,18 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		if err := m.Obs.WriteTraceFile(*traceOut, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := m.Obs.WriteMetricsFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
 }
 
 // renderWindow runs one traced TET probe and prints its pipeline diagram —
@@ -183,7 +203,15 @@ func renderWindow(k *kernel.Kernel) error {
 	}
 	c := trace.NewCollector(0)
 	c.Attach(m.Pipe)
-	defer m.Pipe.SetTracer(nil)
+	defer func() {
+		// Hand the pipeline back to the obs registry's collector if one is
+		// live (-trace-out), otherwise detach tracing entirely.
+		if m.Obs != nil {
+			m.Obs.AttachPipeline(m.Pipe)
+		} else {
+			m.Pipe.SetTracer(nil)
+		}
+	}()
 	tote, err := pr.Probe(core.UnmappedVA, 1, 1) // triggered probe
 	if err != nil {
 		return err

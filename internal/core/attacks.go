@@ -6,6 +6,7 @@ import (
 
 	"whisper/internal/cpu"
 	"whisper/internal/kernel"
+	"whisper/internal/obs"
 )
 
 // UnmappedVA is a canonical user address no kernel maps; faulting loads from
@@ -57,16 +58,22 @@ func (a *Meltdown) LeakByte(va uint64) (byte, error) {
 // Leak recovers n bytes starting at va.
 func (a *Meltdown) Leak(va uint64, n int) (LeakResult, error) {
 	m := a.k.Machine()
+	sp := leakSpan(m, "TET-Meltdown", n)
 	start := m.Pipe.Cycle()
 	out := make([]byte, n)
 	for i := 0; i < n; i++ {
+		bsp := byteSpan(m, i)
 		b, err := a.LeakByte(va + uint64(i))
 		if err != nil {
+			sp.End(m.Pipe.Cycle())
 			return LeakResult{}, fmt.Errorf("core: TET-MD byte %d: %w", i, err)
 		}
 		out[i] = b
+		bsp.AttrU64("value", uint64(b))
+		bsp.End(m.Pipe.Cycle())
 	}
 	cycles := m.Pipe.Cycle() - start
+	sp.End(m.Pipe.Cycle())
 	return LeakResult{Data: out, Cycles: cycles, Bps: m.Bps(n, cycles)}, nil
 }
 
@@ -103,17 +110,23 @@ func (a *Zombieload) SampleByte(victim func()) (byte, error) {
 // (one VictimTouch per byte) while the attacker samples each position.
 func (a *Zombieload) Leak(n int) (LeakResult, error) {
 	m := a.k.Machine()
+	sp := leakSpan(m, "TET-Zombieload", n)
 	start := m.Pipe.Cycle()
 	out := make([]byte, n)
 	for i := 0; i < n; i++ {
 		i := i
+		bsp := byteSpan(m, i)
 		b, err := a.SampleByte(func() { a.k.VictimTouch(i) })
 		if err != nil {
+			sp.End(m.Pipe.Cycle())
 			return LeakResult{}, fmt.Errorf("core: TET-ZBL byte %d: %w", i, err)
 		}
 		out[i] = b
+		bsp.AttrU64("value", uint64(b))
+		bsp.End(m.Pipe.Cycle())
 	}
 	cycles := m.Pipe.Cycle() - start
+	sp.End(m.Pipe.Cycle())
 	return LeakResult{Data: out, Cycles: cycles, Bps: m.Bps(n, cycles)}, nil
 }
 
@@ -177,13 +190,16 @@ func (c *CovertChannel) Transfer(data []byte) (LeakResult, error) {
 			return LeakResult{}, err
 		}
 	}
+	sp := leakSpan(c.m, "TET-CC", len(data))
 	start := c.m.Pipe.Cycle()
 	out := make([]byte, len(data))
 	for i, by := range data {
+		bsp := byteSpan(c.m, i)
 		var got byte
 		for bit := 7; bit >= 0; bit-- {
 			rx, err := c.sendBit(by>>uint(bit)&1 == 1)
 			if err != nil {
+				sp.End(c.m.Pipe.Cycle())
 				return LeakResult{}, fmt.Errorf("core: TET-CC byte %d: %w", i, err)
 			}
 			if rx {
@@ -191,9 +207,31 @@ func (c *CovertChannel) Transfer(data []byte) (LeakResult, error) {
 			}
 		}
 		out[i] = got
+		bsp.AttrU64("value", uint64(got))
+		bsp.AttrBool("correct", got == by)
+		bsp.End(c.m.Pipe.Cycle())
 	}
 	cycles := c.m.Pipe.Cycle() - start
+	sp.End(c.m.Pipe.Cycle())
 	return LeakResult{Data: out, Cycles: cycles, Bps: c.m.Bps(len(data), cycles)}, nil
+}
+
+// leakSpan opens the attack-level span: attack kind, CPU model, payload size.
+// Nil-safe; ending the span force-closes any stray descendants.
+func leakSpan(m *cpu.Machine, attack string, n int) *obs.Span {
+	sp := m.Obs.StartSpan("core.leak", m.Pipe.Cycle())
+	sp.Attr("attack", attack)
+	sp.Attr("cpu", m.Model.Name)
+	sp.AttrInt("bytes", n)
+	return sp
+}
+
+// byteSpan opens the per-byte span under a leakSpan, carrying the batch
+// index; callers attach the leaked-byte verdict before End.
+func byteSpan(m *cpu.Machine, i int) *obs.Span {
+	sp := m.Obs.StartSpan("core.leak.byte", m.Pipe.Cycle())
+	sp.AttrInt("index", i)
+	return sp
 }
 
 // errNotBooted guards attack constructors.

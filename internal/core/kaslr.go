@@ -152,10 +152,18 @@ func (a *KASLR) slotTimeFLARE(s int) (uint64, error) {
 // threshold between the fastest observation and the unmapped majority.
 func (a *KASLR) Locate() (KASLRResult, error) {
 	m := a.k.Machine()
+	cfg := a.k.Config()
+	sp := m.Obs.StartSpan("core.kaslr.locate", m.Pipe.Cycle())
+	sp.Attr("cpu", m.Model.Name)
+	sp.Attr("attack", "TET-KASLR")
+	sp.AttrBool("kpti", cfg.KPTI)
+	sp.AttrBool("flare", cfg.FLARE)
 	start := m.Pipe.Cycle()
 	times := make([]uint64, kernel.NumSlots)
-	flare := a.k.Config().FLARE
+	flare := cfg.FLARE
 	for s := 0; s < kernel.NumSlots; s++ {
+		ssp := m.Obs.StartSpan("core.kaslr.slot", m.Pipe.Cycle())
+		ssp.AttrInt("slot", s)
 		var t uint64
 		var err error
 		if flare {
@@ -164,9 +172,17 @@ func (a *KASLR) Locate() (KASLRResult, error) {
 			t, err = a.slotTime(s)
 		}
 		if err != nil {
+			sp.Attr("error", err.Error())
+			sp.End(m.Pipe.Cycle())
 			return KASLRResult{}, err
 		}
 		times[s] = t
+		ssp.AttrU64("medianToTE", t)
+		ssp.End(m.Pipe.Cycle())
+		if m.Obs != nil {
+			m.Obs.Histogram("core.kaslr.slotToTE").Observe(t)
+			m.Obs.SamplePMU(m.Pipe.Cycle(), m.PMU.Snapshot())
+		}
 	}
 	slot := firstMapped(times)
 	cycles := m.Pipe.Cycle() - start
@@ -174,6 +190,11 @@ func (a *KASLR) Locate() (KASLRResult, error) {
 	if slot >= 0 {
 		res.Base = kernel.SlotVA(slot)
 	}
+	sp.AttrInt("slot", slot)
+	sp.AttrHex("base", res.Base)
+	sp.AttrBool("hit", slot == a.k.BaseSlot())
+	sp.End(m.Pipe.Cycle())
+	m.Obs.Histogram("core.kaslr.scanCycles").Observe(cycles)
 	return res, nil
 }
 

@@ -107,7 +107,34 @@ func (pr *Prober) abortIndex() int { return pr.prog.Len() - 2 }
 // the transient load address; test and cmp load the RDX/RCX registers. A
 // sample whose timer pair is inverted (an interrupt spiked the first read)
 // is discarded and re-measured, as a real attacker would.
+//
+// With observability enabled the probe is wrapped in a span carrying the
+// measured ToTE, feeds the core.probe.tote cycle histogram, and samples the
+// PMU; the nil-registry default adds a single pointer compare.
 func (pr *Prober) Probe(target uint64, test, cmp uint64) (uint64, error) {
+	r := pr.m.Obs
+	if r == nil {
+		return pr.probe(target, test, cmp)
+	}
+	p := pr.m.Pipe
+	sp := r.StartSpan("core.probe", p.Cycle())
+	sp.AttrHex("target", target)
+	tote, err := pr.probe(target, test, cmp)
+	if err != nil {
+		sp.Attr("error", err.Error())
+		r.Counter("core.probe.errors").Inc()
+	} else {
+		sp.AttrU64("tote", tote)
+		r.Histogram("core.probe.tote").Observe(tote)
+	}
+	r.Counter("core.probes").Inc()
+	sp.End(p.Cycle())
+	r.SamplePMU(p.Cycle(), pr.m.PMU.Snapshot())
+	return tote, err
+}
+
+// probe is the uninstrumented measurement path.
+func (pr *Prober) probe(target uint64, test, cmp uint64) (uint64, error) {
 	p := pr.m.Pipe
 	if pr.suppress == SuppressSignal {
 		p.SetSignalHandler(pr.abortIndex())
@@ -133,6 +160,18 @@ func (pr *Prober) Probe(target uint64, test, cmp uint64) (uint64, error) {
 // the argmax of the votes. sign selects max- or min-extreme. prep, when
 // non-nil, runs before every probe (victim refresh, eviction, ...).
 func (pr *Prober) SweepByte(target uint64, batches int, sign Sign, prep func()) (byte, error) {
+	sp := pr.m.Obs.StartSpan("core.sweepByte", pr.m.Pipe.Cycle())
+	sp.AttrInt("batches", batches)
+	sp.AttrBool("signLonger", sign == SignLonger)
+	b, err := pr.sweepByte(target, batches, sign, prep)
+	if err == nil {
+		sp.AttrU64("decoded", uint64(b))
+	}
+	sp.End(pr.m.Pipe.Cycle())
+	return b, err
+}
+
+func (pr *Prober) sweepByte(target uint64, batches int, sign Sign, prep func()) (byte, error) {
 	if batches <= 0 {
 		return 0, errors.New("core: batches must be positive")
 	}
@@ -150,6 +189,8 @@ func (pr *Prober) SweepByte(target uint64, batches int, sign Sign, prep func()) 
 	votes := make([]int, 256)
 	totes := make([]uint64, 256)
 	for batch := 0; batch < batches; batch++ {
+		bsp := pr.m.Obs.StartSpan("core.sweepByte.batch", pr.m.Pipe.Cycle())
+		bsp.AttrInt("batch", batch)
 		for tv := 0; tv < 256; tv++ {
 			if prep != nil {
 				prep()
@@ -167,6 +208,8 @@ func (pr *Prober) SweepByte(target uint64, batches int, sign Sign, prep func()) 
 			pick = stats.Argmin(totes)
 		}
 		votes[pick]++
+		bsp.AttrInt("vote", pick)
+		bsp.End(pr.m.Pipe.Cycle())
 	}
 	return byte(stats.ArgmaxInt(votes)), nil
 }
@@ -178,6 +221,18 @@ func (pr *Prober) SweepByte(target uint64, batches int, sign Sign, prep func()) 
 // ~1/sqrt(batches) while staying immune to the heavy-tailed interrupt
 // spikes that break a plain mean (see the NoiseSweep experiment).
 func (pr *Prober) SweepByteMedian(target uint64, batches int, sign Sign, prep func()) (byte, error) {
+	sp := pr.m.Obs.StartSpan("core.sweepByteMedian", pr.m.Pipe.Cycle())
+	sp.AttrInt("batches", batches)
+	sp.AttrBool("signLonger", sign == SignLonger)
+	b, err := pr.sweepByteMedian(target, batches, sign, prep)
+	if err == nil {
+		sp.AttrU64("decoded", uint64(b))
+	}
+	sp.End(pr.m.Pipe.Cycle())
+	return b, err
+}
+
+func (pr *Prober) sweepByteMedian(target uint64, batches int, sign Sign, prep func()) (byte, error) {
 	if batches <= 0 {
 		return 0, errors.New("core: batches must be positive")
 	}
@@ -191,6 +246,8 @@ func (pr *Prober) SweepByteMedian(target uint64, batches int, sign Sign, prep fu
 	}
 	samples := make([][]uint64, 256)
 	for batch := 0; batch < batches; batch++ {
+		bsp := pr.m.Obs.StartSpan("core.sweepByteMedian.batch", pr.m.Pipe.Cycle())
+		bsp.AttrInt("batch", batch)
 		for tv := 0; tv < 256; tv++ {
 			if prep != nil {
 				prep()
@@ -201,6 +258,7 @@ func (pr *Prober) SweepByteMedian(target uint64, batches int, sign Sign, prep fu
 			}
 			samples[tv] = append(samples[tv], tote)
 		}
+		bsp.End(pr.m.Pipe.Cycle())
 	}
 	medians := make([]uint64, 256)
 	for tv := range samples {
@@ -233,6 +291,18 @@ func (pr *Prober) ProbeStable(target uint64, trigger bool) (uint64, error) {
 // probes (the covert channel's training preamble) and returns a decision
 // threshold plus the measured polarity.
 func (pr *Prober) Calibrate(target uint64, reps int) (threshold uint64, oneIsLonger bool, err error) {
+	sp := pr.m.Obs.StartSpan("core.calibrate", pr.m.Pipe.Cycle())
+	sp.AttrInt("reps", reps)
+	threshold, oneIsLonger, err = pr.calibrate(target, reps)
+	if err == nil {
+		sp.AttrU64("threshold", threshold)
+		sp.AttrBool("oneIsLonger", oneIsLonger)
+	}
+	sp.End(pr.m.Pipe.Cycle())
+	return threshold, oneIsLonger, err
+}
+
+func (pr *Prober) calibrate(target uint64, reps int) (threshold uint64, oneIsLonger bool, err error) {
 	ones := make([]uint64, 0, reps)
 	zeros := make([]uint64, 0, reps)
 	for i := 0; i < reps; i++ {

@@ -9,6 +9,7 @@ import (
 
 	"whisper/internal/bpu"
 	"whisper/internal/mem"
+	"whisper/internal/obs"
 	"whisper/internal/paging"
 	"whisper/internal/pipeline"
 	"whisper/internal/pmu"
@@ -159,6 +160,12 @@ type Machine struct {
 	PMU   *pmu.PMU
 	Alloc *paging.FrameAllocator
 	Rand  *rand.Rand
+
+	// Obs is the optional observability registry. It is nil by default, and
+	// every instrumented call site (probes, sweeps, kernel boot) no-ops on
+	// the nil registry, keeping the measurement path allocation-free; enable
+	// it with EnableObs.
+	Obs *obs.Registry
 }
 
 // NewMachine builds a machine for the model with a deterministic seed. The
@@ -204,6 +211,17 @@ func MustMachine(m Model, seed int64) *Machine {
 		panic(err)
 	}
 	return mc
+}
+
+// EnableObs attaches a fresh observability registry to the machine and
+// installs its per-uop record collector as the pipeline tracer. Subsequent
+// probes, sweeps, and kernel operations on this machine emit spans, metrics,
+// and PMU samples into the returned registry.
+func (mc *Machine) EnableObs() *obs.Registry {
+	r := obs.NewRegistry()
+	r.AttachPipeline(mc.Pipe)
+	mc.Obs = r
+	return r
 }
 
 // Seconds converts a cycle count to seconds at the model's clock.

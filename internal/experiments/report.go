@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+
+	"whisper/internal/obs"
 )
 
 // Report bundles every experiment's results for machine-readable output
@@ -30,6 +32,11 @@ type ReportParams struct {
 	ThroughputBytes int
 	KASLRReps       int
 	Fig1bBatches    int
+
+	// Obs, when non-nil, records one wall-time span per experiment stage
+	// (the machines booted inside each stage keep their own registries, so
+	// stage spans land on the wall-clock track of the exported trace).
+	Obs *obs.Registry
 }
 
 // DefaultReportParams returns bench-friendly sizes.
@@ -45,37 +52,81 @@ func DefaultReportParams() ReportParams {
 // RunAll executes every experiment and returns the bundle.
 func RunAll(p ReportParams) (*Report, error) {
 	r := &Report{Seed: p.Seed}
+	stage := func(name string, f func() error) error {
+		sp := p.Obs.StartWallSpan(name)
+		err := f()
+		if err != nil {
+			sp.Attr("error", err.Error())
+		}
+		sp.End(0)
+		return err
+	}
 	var err error
-	if r.Table2, err = Table2(DefaultTable2Params(), p.Seed); err != nil {
+	if err = stage("experiments.table2", func() error {
+		if r.Table2, err = Table2(DefaultTable2Params(), p.Seed); err != nil {
+			return err
+		}
+		r.Table2Agrees, r.Table2Deviations = Table2Agrees(r.Table2)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	r.Table2Agrees, r.Table2Deviations = Table2Agrees(r.Table2)
-	if r.Table3, err = Table3(p.Seed); err != nil {
+	if err = stage("experiments.table3", func() (err error) {
+		r.Table3, err = Table3(p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if r.Fig1b, err = Fig1b(p.Fig1bBatches, p.Seed); err != nil {
+	if err = stage("experiments.fig1b", func() (err error) {
+		r.Fig1b, err = Fig1b(p.Fig1bBatches, p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if r.Fig4, err = Fig4(p.Seed); err != nil {
+	if err = stage("experiments.fig4", func() (err error) {
+		r.Fig4, err = Fig4(p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if r.Throughput, err = Throughput(p.ThroughputBytes, p.Seed); err != nil {
+	if err = stage("experiments.throughput", func() (err error) {
+		r.Throughput, err = Throughput(p.ThroughputBytes, p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if r.KASLR, err = KASLRSuite(p.KASLRReps, p.Seed); err != nil {
+	if err = stage("experiments.kaslr", func() (err error) {
+		r.KASLR, err = KASLRSuite(p.KASLRReps, p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if r.Mitigations, err = Mitigations(p.Seed); err != nil {
+	if err = stage("experiments.mitigations", func() error {
+		var err error
+		if r.Mitigations, err = Mitigations(p.Seed); err != nil {
+			return err
+		}
+		r.MitigationsAgree, _ = MitigationsAgree(r.Mitigations)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	r.MitigationsAgree, _ = MitigationsAgree(r.Mitigations)
-	if r.Stealth, err = Stealth(p.Seed); err != nil {
+	if err = stage("experiments.stealth", func() (err error) {
+		r.Stealth, err = Stealth(p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if r.CondFamily, err = CondFamily(p.Seed); err != nil {
+	if err = stage("experiments.condfamily", func() (err error) {
+		r.CondFamily, err = CondFamily(p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
-	if r.NoiseSweep, err = NoiseSweep(p.Seed); err != nil {
+	if err = stage("experiments.noise", func() (err error) {
+		r.NoiseSweep, err = NoiseSweep(p.Seed)
+		return
+	}); err != nil {
 		return nil, err
 	}
 	return r, nil

@@ -92,6 +92,23 @@ var KernelFunctions = map[string]uint64{
 // Boot installs the OS view on a machine and switches the attacker's
 // pipeline into the (possibly KPTI-restricted) user address space.
 func Boot(m *cpu.Machine, cfg Config) (*Kernel, error) {
+	sp := m.Obs.StartSpan("kernel.boot", m.Pipe.Cycle())
+	sp.Attr("cpu", m.Model.Name)
+	sp.AttrBool("kaslr", cfg.KASLR)
+	sp.AttrBool("kpti", cfg.KPTI)
+	sp.AttrBool("flare", cfg.FLARE)
+	sp.AttrBool("fgkaslr", cfg.FGKASLR)
+	sp.AttrBool("docker", cfg.Docker)
+	k, err := bootKernel(m, cfg)
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End(m.Pipe.Cycle())
+	return k, err
+}
+
+// bootKernel is Boot's uninstrumented body.
+func bootKernel(m *cpu.Machine, cfg Config) (*Kernel, error) {
 	k := &Kernel{m: m, cfg: cfg, funcs: make(map[string]uint64)}
 
 	k.kernAS = paging.NewAddressSpace(m.Phys, m.Alloc)

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"whisper/internal/pmu"
+)
+
+// Chrome trace-event track layout. Simulated-time events (1 cycle rendered
+// as 1 µs) live under PIDSim; wall-clock phase spans under PIDWall. Within
+// PIDSim, spans and per-uop pipeline records get their own threads so
+// Perfetto draws them as separate tracks.
+const (
+	PIDSim  = 1
+	PIDWall = 2
+
+	TIDSpans    = 1
+	TIDPipeline = 2
+)
+
+// Trace-event phase codes (the Chrome trace-event format's "ph" field).
+const (
+	PhaseComplete = "X" // duration event with explicit dur
+	PhaseCounter  = "C" // counter sample
+	PhaseMetadata = "M" // process/thread naming
+)
+
+// TraceEvent is one Chrome trace-event / Perfetto JSON event.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the exported JSON document, loadable in ui.perfetto.dev or
+// chrome://tracing.
+type TraceFile struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// DefaultCounterEvents are the PMU events exported as counter tracks: the
+// speculation/frontend/memory counters the paper's Table 3 analysis turns
+// on, plus the global pair.
+var DefaultCounterEvents = []pmu.Event{
+	pmu.MachineClearsCount,
+	pmu.UopsIssuedAny,
+	pmu.BrMispExecAllBranches,
+	pmu.DtlbLoadMissesMissCausesAWalk,
+	pmu.MemLoadRetiredL1Miss,
+	pmu.InstRetired,
+}
+
+// BuildTrace assembles the merged trace: phase spans, pipeline uop records,
+// and PMU counter samples (restricted to counterEvents; nil selects
+// DefaultCounterEvents). Nil-safe: a disabled registry yields an empty but
+// valid trace.
+func (r *Registry) BuildTrace(counterEvents []pmu.Event) *TraceFile {
+	tf := &TraceFile{
+		DisplayTimeUnit: "ns",
+		OtherData:       map[string]string{"generator": "whisper internal/obs"},
+	}
+	tf.TraceEvents = append(tf.TraceEvents,
+		metaEvent("process_name", PIDSim, 0, "whisper sim (1 cycle = 1 us)"),
+		metaEvent("thread_name", PIDSim, TIDSpans, "attack phases"),
+		metaEvent("thread_name", PIDSim, TIDPipeline, "pipeline uops"),
+		metaEvent("process_name", PIDWall, 0, "whisper wall clock"),
+		metaEvent("thread_name", PIDWall, TIDSpans, "run stages"),
+	)
+	if r == nil {
+		return tf
+	}
+	if counterEvents == nil {
+		counterEvents = DefaultCounterEvents
+	}
+
+	for _, sp := range r.Spans() {
+		tf.TraceEvents = append(tf.TraceEvents, r.spanEvent(sp))
+	}
+
+	for _, rec := range r.PipelineRecords() {
+		dur := float64(1)
+		if rec.EndAt > rec.FetchAt {
+			dur = float64(rec.EndAt - rec.FetchAt)
+		}
+		args := map[string]any{
+			"seq":     rec.Seq,
+			"idx":     rec.Idx,
+			"retired": rec.Retired,
+			"fromDSB": rec.FromDSB,
+		}
+		if rec.Fault != "" {
+			args["fault"] = rec.Fault
+		}
+		if rec.StartAt == 0 {
+			args["executed"] = false
+		}
+		tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+			Name: rec.Text,
+			Cat:  "uop",
+			Ph:   PhaseComplete,
+			TS:   float64(rec.FetchAt),
+			Dur:  dur,
+			PID:  PIDSim,
+			TID:  TIDPipeline,
+			Args: args,
+		})
+	}
+
+	for _, s := range r.PMUSamples() {
+		for _, e := range counterEvents {
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: e.String(),
+				Cat:  "pmu",
+				Ph:   PhaseCounter,
+				TS:   float64(s.Cycle),
+				PID:  PIDSim,
+				Args: map[string]any{"value": s.Counts.Get(e)},
+			})
+		}
+	}
+	return tf
+}
+
+// spanEvent converts one span to its duration event. Open spans export with
+// the duration observed so far; zero-length spans are widened to one unit so
+// they stay visible.
+func (r *Registry) spanEvent(sp *Span) TraceEvent {
+	r.mu.Lock()
+	args := map[string]any{"id": sp.ID, "parent": sp.Parent}
+	for _, a := range sp.Attrs {
+		args[a.Key] = a.Value
+	}
+	name := sp.Name
+	wallOnly, ended := sp.wallOnly, sp.ended
+	startCycle, endCycle := sp.StartCycle, sp.EndCycle
+	startWall, endWall := sp.StartWall, sp.EndWall
+	epoch := r.startWall
+	r.mu.Unlock()
+
+	if !ended {
+		endWall = time.Now()
+		endCycle = startCycle
+		args["open"] = true
+	}
+	ev := TraceEvent{Name: name, Cat: "span", Ph: PhaseComplete, TID: TIDSpans, Args: args}
+	if wallOnly {
+		ev.PID = PIDWall
+		ev.TS = float64(startWall.Sub(epoch).Microseconds())
+		ev.Dur = float64(endWall.Sub(startWall).Microseconds())
+	} else {
+		ev.PID = PIDSim
+		ev.TS = float64(startCycle)
+		ev.Dur = float64(endCycle - startCycle)
+		args["wall_us"] = endWall.Sub(startWall).Microseconds()
+	}
+	if ev.Dur < 1 {
+		ev.Dur = 1
+	}
+	return ev
+}
+
+// ExportTrace writes the merged trace as indented JSON.
+func (r *Registry) ExportTrace(w io.Writer, counterEvents []pmu.Event) error {
+	tf := r.BuildTrace(counterEvents)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tf)
+}
+
+// WriteTraceFile exports the merged trace to path — the implementation
+// behind the cmd tools' -trace-out flag. Nil-safe.
+func (r *Registry) WriteTraceFile(path string, counterEvents []pmu.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.ExportTrace(f, counterEvents); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile dumps the registry snapshot to path — JSON when the path
+// ends in .json, the aligned text table otherwise. Nil-safe (a disabled
+// registry writes an empty snapshot).
+func (r *Registry) WriteMetricsFile(path string) error {
+	s := r.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".json") {
+		werr = s.WriteJSON(f)
+	} else {
+		werr = s.WriteText(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func metaEvent(name string, pid, tid int, label string) TraceEvent {
+	return TraceEvent{
+		Name: name,
+		Ph:   PhaseMetadata,
+		PID:  pid,
+		TID:  tid,
+		Args: map[string]any{"name": label},
+	}
+}

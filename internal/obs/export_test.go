@@ -1,0 +1,196 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/obs"
+	"whisper/internal/pmu"
+)
+
+// decodedTrace mirrors the Chrome trace-event JSON shape for validation.
+type decodedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func exportAndDecode(t *testing.T, r *obs.Registry) decodedTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.ExportTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tf decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit == "" {
+		t.Fatal("displayTimeUnit missing")
+	}
+	return tf
+}
+
+// validateNesting checks every sim-track span fits inside its parent's
+// interval — the invariant Perfetto's flame rendering relies on.
+func validateNesting(t *testing.T, tf decodedTrace) int {
+	t.Helper()
+	type iv struct{ ts, end float64 }
+	byID := map[float64]iv{}
+	for _, e := range tf.TraceEvents {
+		if e.Cat != "span" || e.PID != obs.PIDSim {
+			continue
+		}
+		id, ok := e.Args["id"].(float64)
+		if !ok {
+			t.Fatalf("span %q has no numeric id arg: %v", e.Name, e.Args)
+		}
+		byID[id] = iv{e.TS, e.TS + e.Dur}
+	}
+	nested := 0
+	for _, e := range tf.TraceEvents {
+		if e.Cat != "span" || e.PID != obs.PIDSim {
+			continue
+		}
+		parent, ok := e.Args["parent"].(float64)
+		if !ok || parent < 0 {
+			continue
+		}
+		p, ok := byID[parent]
+		if !ok {
+			t.Fatalf("span %q references unknown parent %v", e.Name, parent)
+		}
+		if e.TS < p.ts || e.TS+e.Dur > p.end {
+			t.Fatalf("span %q [%v,%v] escapes parent [%v,%v]",
+				e.Name, e.TS, e.TS+e.Dur, p.ts, p.end)
+		}
+		nested++
+	}
+	return nested
+}
+
+// TestExportSyntheticTrace validates the exporter shape on a hand-built
+// registry: metadata, wall vs sim placement, counter samples.
+func TestExportSyntheticTrace(t *testing.T) {
+	r := obs.NewRegistry()
+	wall := r.StartWallSpan("stage")
+	sim := r.StartSpan("phase", 100)
+	sim.Attr("attack", "TET-CC")
+	sim.End(200)
+	wall.End(0)
+	var c pmu.Counts
+	c[pmu.UopsIssuedAny] = 5
+	r.SamplePMU(150, c)
+
+	tf := exportAndDecode(t, r)
+	var sawWall, sawSim, sawCounter, sawMeta bool
+	for _, e := range tf.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			sawMeta = true
+		case e.Cat == "span" && e.PID == obs.PIDWall:
+			sawWall = true
+		case e.Cat == "span" && e.PID == obs.PIDSim:
+			sawSim = true
+			if e.TS != 100 || e.Dur != 100 {
+				t.Fatalf("sim span ts/dur = %v/%v, want 100/100", e.TS, e.Dur)
+			}
+			if e.Args["attack"] != "TET-CC" {
+				t.Fatalf("span attrs lost: %v", e.Args)
+			}
+		case e.Ph == "C":
+			sawCounter = true
+			if e.Name == "UOPS_ISSUED.ANY" && e.Args["value"] != float64(5) {
+				t.Fatalf("counter value = %v", e.Args["value"])
+			}
+		}
+	}
+	for name, saw := range map[string]bool{
+		"metadata": sawMeta, "wall span": sawWall, "sim span": sawSim, "counter": sawCounter,
+	} {
+		if !saw {
+			t.Fatalf("trace missing %s events", name)
+		}
+	}
+}
+
+// TestKASLRTraceEndToEnd is the acceptance check: a real (reduced-reps)
+// TET-KASLR scan with observability enabled exports a Chrome trace
+// containing all three track types — phase spans, pipeline uops, PMU
+// counters — with valid event nesting, no external tools needed.
+func TestKASLRTraceEndToEnd(t *testing.T) {
+	m := cpu.MustMachine(cpu.I9_10980XE(), 6)
+	reg := m.EnableObs()
+	k, err := kernel.Boot(m, kernel.Config{KASLR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewTETKASLR(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Reps = 1
+	res, err := a.Locate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tf := exportAndDecode(t, reg)
+	spanNames := map[string]int{}
+	uops, counters := 0, 0
+	counterNames := map[string]bool{}
+	for _, e := range tf.TraceEvents {
+		switch {
+		case e.Cat == "span":
+			spanNames[e.Name]++
+		case e.Cat == "uop":
+			uops++
+			if e.Dur <= 0 {
+				t.Fatalf("uop event with non-positive dur: %+v", e)
+			}
+		case e.Ph == "C":
+			counters++
+			counterNames[e.Name] = true
+		}
+	}
+	for _, want := range []string{"kernel.boot", "core.kaslr.locate", "core.kaslr.slot"} {
+		if spanNames[want] == 0 {
+			t.Fatalf("missing %q span; spans seen: %v", want, spanNames)
+		}
+	}
+	if spanNames["core.kaslr.slot"] != kernel.NumSlots {
+		t.Fatalf("slot spans = %d, want %d", spanNames["core.kaslr.slot"], kernel.NumSlots)
+	}
+	if uops == 0 {
+		t.Fatal("no pipeline uop events on the trace")
+	}
+	if counters == 0 || !counterNames["UOPS_ISSUED.ANY"] {
+		t.Fatalf("PMU counter track missing (got %d events: %v)", counters, counterNames)
+	}
+	if nested := validateNesting(t, tf); nested < kernel.NumSlots {
+		t.Fatalf("only %d nested spans validated", nested)
+	}
+
+	// The scan itself must still work under tracing.
+	if res.Slot != k.BaseSlot() {
+		t.Fatalf("traced scan missed the slot: got %d want %d", res.Slot, k.BaseSlot())
+	}
+
+	// And the registry metrics must reflect the campaign.
+	snap := reg.Snapshot()
+	if snap.Histograms["core.kaslr.slotToTE"].N != kernel.NumSlots {
+		t.Fatalf("slotToTE histogram N = %d", snap.Histograms["core.kaslr.slotToTE"].N)
+	}
+}

@@ -1,0 +1,425 @@
+// Package obs is the unified observability layer: a metrics registry
+// (counters, gauges, cycle-histograms with labels), span-based phase tracing
+// in simulated cycles and host wall-time, and a Chrome trace-event /
+// Perfetto-compatible exporter that merges spans, per-uop pipeline records,
+// and periodic PMU counter samples into one trace.
+//
+// The whole API is nil-safe: every method on a nil *Registry, *Span,
+// *Counter, *Gauge, or *Histogram is a no-op, so instrumented code paths
+// (core.Prober.Probe and friends) run allocation-free when observability is
+// disabled — the default. cpu.Machine carries the registry; enable it with
+// Machine.EnableObs.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whisper/internal/pipeline"
+	"whisper/internal/pmu"
+	"whisper/internal/stats"
+	"whisper/internal/trace"
+)
+
+// Label is one key=value metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// metricKey builds the canonical identity "name{k=v,k=v}" with sorted keys.
+func metricKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time float64 metric.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the value by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a cycle histogram metric (a locked stats.Histogram).
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Add(v)
+	h.mu.Unlock()
+}
+
+// snapshot summarises the histogram under its lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		N:   h.h.N(),
+		Min: h.h.Quantile(0),
+		P50: h.h.Quantile(0.5),
+		P90: h.h.Quantile(0.9),
+		Max: h.h.Quantile(1),
+	}
+}
+
+// PMUSample is one periodic snapshot of every PMU counter, in simulated
+// cycles (the counter tracks of the exported trace).
+type PMUSample struct {
+	Cycle  uint64
+	Counts pmu.Counts
+}
+
+// DefaultPipelineCap bounds how many per-uop pipeline records the registry
+// retains for export (a ring keeping the newest).
+const DefaultPipelineCap = 4096
+
+// DefaultPMUSampleCap bounds retained PMU samples; past it the sample set is
+// decimated 2:1, preserving the overall shape of long campaigns.
+const DefaultPMUSampleCap = 8192
+
+// Registry is the root observability object: metric families, the span
+// store, buffered pipeline records, and PMU samples. All methods are safe on
+// a nil receiver (no-op) and safe for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	startWall time.Time
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spans      []*Span
+	stack      []*Span // open-span stack (nesting)
+	nextSpanID int
+
+	pipe *trace.Collector
+
+	pmuSamples []PMUSample
+	pmuCap     int
+}
+
+// NewRegistry returns an enabled registry with default buffer caps.
+func NewRegistry() *Registry {
+	return &Registry{
+		startWall: time.Now(),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		pipe:      trace.NewCollector(DefaultPipelineCap),
+		pmuCap:    DefaultPMUSampleCap,
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Nil-safe: returns
+// a nil *Counter, whose methods no-op, when the registry is disabled.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named cycle histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{h: stats.NewHistogram()}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// AttachPipeline installs the registry's per-uop record collector as the
+// pipeline's tracer (replacing any previous tracer).
+func (r *Registry) AttachPipeline(p *pipeline.Pipeline) {
+	if r == nil {
+		return
+	}
+	r.pipe.Attach(p)
+}
+
+// PipelineRecords returns the buffered per-uop records in emission order.
+func (r *Registry) PipelineRecords() []pipeline.TraceRecord {
+	if r == nil {
+		return nil
+	}
+	return r.pipe.Records()
+}
+
+// SamplePMU records one counter snapshot at the given simulated cycle. Past
+// the sample cap the buffer is decimated 2:1 rather than truncated, so long
+// campaigns keep coverage of their whole time span.
+func (r *Registry) SamplePMU(cycle uint64, counts pmu.Counts) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pmuCap > 0 && len(r.pmuSamples) >= r.pmuCap {
+		kept := r.pmuSamples[:0]
+		for i := 0; i < len(r.pmuSamples); i += 2 {
+			kept = append(kept, r.pmuSamples[i])
+		}
+		r.pmuSamples = kept
+	}
+	r.pmuSamples = append(r.pmuSamples, PMUSample{Cycle: cycle, Counts: counts})
+}
+
+// PMUSamples returns the retained samples in cycle order.
+func (r *Registry) PMUSamples() []PMUSample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]PMUSample(nil), r.pmuSamples...)
+}
+
+// HistogramSnapshot summarises one cycle histogram.
+type HistogramSnapshot struct {
+	N   int
+	Min uint64
+	P50 uint64
+	P90 uint64
+	Max uint64
+}
+
+// Snapshot is a point-in-time copy of every metric, mirroring pmu.Counts'
+// snapshot/delta idiom: take one before and one after a phase, and Delta
+// gives the phase's cost.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:",omitempty"`
+	Gauges     map[string]float64           `json:",omitempty"`
+	Histograms map[string]HistogramSnapshot `json:",omitempty"`
+}
+
+// Snapshot copies all metrics. Nil-safe: returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.snapshot()
+	}
+	return s
+}
+
+// Delta returns the change from prev to s: counters and histogram sample
+// counts subtract element-wise (missing entries count as zero); gauges — a
+// point-in-time quantity — keep their current value, as do the histogram
+// quantiles.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		v.N -= prev.Histograms[k].N
+		out.Histograms[k] = v
+	}
+	return out
+}
+
+// sortedKeys returns the union of metric names, sorted.
+func (s Snapshot) sortedKeys() (counters, gauges, hists []string) {
+	for k := range s.Counters {
+		counters = append(counters, k)
+	}
+	for k := range s.Gauges {
+		gauges = append(gauges, k)
+	}
+	for k := range s.Histograms {
+		hists = append(hists, k)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return
+}
+
+// WriteText renders the snapshot as an aligned text table, one metric per
+// line, deterministically ordered.
+func (s Snapshot) WriteText(w io.Writer) error {
+	counters, gauges, hists := s.sortedKeys()
+	for _, k := range counters {
+		if _, err := fmt.Fprintf(w, "counter   %-48s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range gauges {
+		if _, err := fmt.Fprintf(w, "gauge     %-48s %g\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range hists {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "histogram %-48s n=%d min=%d p50=%d p90=%d max=%d\n",
+			k, h.N, h.Min, h.P50, h.P90, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SnapshotFromPMU converts a PMU counter bank into a metrics snapshot whose
+// counters are the given events, named "<prefix><event-name>" — the bridge
+// cmd/pmutool's -json output rides on.
+func SnapshotFromPMU(prefix string, counts pmu.Counts, events []pmu.Event) Snapshot {
+	s := Snapshot{Counters: make(map[string]uint64, len(events))}
+	for _, e := range events {
+		s.Counters[prefix+e.String()] = counts.Get(e)
+	}
+	return s
+}

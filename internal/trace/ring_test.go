@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"whisper/internal/pipeline"
+)
+
+func TestCollectorCapacity(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 10; i++ {
+		c.add(pipeline.TraceRecord{Seq: uint64(i)})
+	}
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[0].Seq != 7 || recs[2].Seq != 9 {
+		t.Fatalf("ring kept wrong records: %+v", recs)
+	}
+	c.Reset()
+	if len(c.Records()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// TestRingWraparoundOrder drives the ring through several partial
+// wraparounds and checks Records() always returns emission order, with the
+// head in an arbitrary mid-buffer position.
+func TestRingWraparoundOrder(t *testing.T) {
+	const cap = 5
+	c := NewCollector(cap)
+	for n := 1; n <= 3*cap+2; n++ {
+		c.add(pipeline.TraceRecord{Seq: uint64(n - 1)})
+		recs := c.Records()
+		want := n
+		if want > cap {
+			want = cap
+		}
+		if len(recs) != want {
+			t.Fatalf("after %d adds: len = %d, want %d", n, len(recs), want)
+		}
+		for i, r := range recs {
+			if wantSeq := uint64(n - want + i); r.Seq != wantSeq {
+				t.Fatalf("after %d adds: recs[%d].Seq = %d, want %d (%+v)",
+					n, i, r.Seq, wantSeq, recs)
+			}
+		}
+	}
+}
+
+func TestRingResetMidWrap(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 6; i++ { // head is mid-buffer
+		c.add(pipeline.TraceRecord{Seq: uint64(i)})
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	c.add(pipeline.TraceRecord{Seq: 100})
+	recs := c.Records()
+	if len(recs) != 1 || recs[0].Seq != 100 {
+		t.Fatalf("post-Reset records wrong: %+v", recs)
+	}
+}
+
+func TestRenderSingleRecord(t *testing.T) {
+	out := Render([]pipeline.TraceRecord{{
+		Seq: 0, Text: "rdtsc rsi",
+		FetchAt: 10, IssueAt: 11, StartAt: 12, DoneAt: 14, EndAt: 15,
+		Retired: true,
+	}}, 40)
+	if !strings.Contains(out, "cycles 10..15") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	for _, mark := range []string{"F", "I", "E", "C", "R"} {
+		if !strings.Contains(out, mark) {
+			t.Fatalf("missing lane mark %q:\n%s", mark, out)
+		}
+	}
+	if strings.Contains(out, "transient") {
+		t.Fatalf("retired uop tagged transient:\n%s", out)
+	}
+}
+
+// TestRenderNarrowWidth forces scale < 1 (span wider than the diagram):
+// every column index must stay in-bounds and the scale is reported.
+func TestRenderNarrowWidth(t *testing.T) {
+	recs := []pipeline.TraceRecord{
+		{Seq: 0, Text: "load1", FetchAt: 0, IssueAt: 5, StartAt: 10, DoneAt: 900, EndAt: 1000, Retired: true},
+		{Seq: 1, Text: "load2", FetchAt: 500, IssueAt: 505, StartAt: 510, DoneAt: 950, EndAt: 999},
+	}
+	out := Render(recs, 10) // span 1001 cycles into 10 columns
+	if !strings.Contains(out, "1 col ≈ 100.1 cycles") {
+		t.Fatalf("scale not reported:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+}
+
+// TestRenderNeverExecuted covers StartAt == 0 (fetched but squashed before
+// execution started): no E mark, no '=' fill, an X at the squash cycle.
+func TestRenderNeverExecuted(t *testing.T) {
+	recs := []pipeline.TraceRecord{
+		{Seq: 0, Text: "cmp", FetchAt: 1, IssueAt: 2, StartAt: 3, DoneAt: 4, EndAt: 9, Retired: true},
+		{Seq: 1, Text: "never", FetchAt: 2, IssueAt: 0, StartAt: 0, DoneAt: 0, EndAt: 8},
+	}
+	out := Render(recs, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	row := lines[2]
+	if strings.ContainsAny(row, "E=C") {
+		t.Fatalf("never-executed uop shows execution lanes: %q", row)
+	}
+	if !strings.Contains(row, "X") || !strings.Contains(row, "(transient)") {
+		t.Fatalf("squash mark or tag missing: %q", row)
+	}
+}
+
+// TestRenderWrappedRing renders straight out of a wrapped ring: the rows
+// must follow emission order, not internal buffer order.
+func TestRenderWrappedRing(t *testing.T) {
+	c := NewCollector(3)
+	for i := 0; i < 5; i++ {
+		c.add(pipeline.TraceRecord{
+			Seq: uint64(i), Text: "nop",
+			FetchAt: uint64(10 * (i + 1)), EndAt: uint64(10*(i+1) + 5), Retired: true,
+		})
+	}
+	out := Render(c.Records(), 60)
+	i2, i3, i4 := strings.Index(out, "   2: nop"), strings.Index(out, "   3: nop"), strings.Index(out, "   4: nop")
+	if i2 < 0 || i3 < 0 || i4 < 0 || !(i2 < i3 && i3 < i4) {
+		t.Fatalf("wrapped ring rendered out of order:\n%s", out)
+	}
+	if !strings.Contains(out, "cycles 30..55") {
+		t.Fatalf("span should cover only the retained records:\n%s", out)
+	}
+}

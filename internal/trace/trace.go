@@ -11,10 +11,13 @@ import (
 	"whisper/internal/pipeline"
 )
 
-// Collector buffers trace records in machine order.
+// Collector buffers trace records in machine order. A capped collector is a
+// ring: once full, each new record overwrites the oldest in O(1) (head marks
+// the oldest slot), keeping the newest cap records.
 type Collector struct {
 	recs []pipeline.TraceRecord
 	cap  int
+	head int // index of the oldest record once the ring is full
 }
 
 // NewCollector returns a collector keeping at most capacity records
@@ -31,18 +34,37 @@ func (c *Collector) Attach(p *pipeline.Pipeline) {
 
 func (c *Collector) add(r pipeline.TraceRecord) {
 	if c.cap > 0 && len(c.recs) >= c.cap {
-		copy(c.recs, c.recs[1:])
-		c.recs[len(c.recs)-1] = r
+		c.recs[c.head] = r
+		c.head++
+		if c.head == len(c.recs) {
+			c.head = 0
+		}
 		return
 	}
 	c.recs = append(c.recs, r)
 }
 
 // Reset drops all buffered records.
-func (c *Collector) Reset() { c.recs = c.recs[:0] }
+func (c *Collector) Reset() {
+	c.recs = c.recs[:0]
+	c.head = 0
+}
 
-// Records returns the buffered records in emission order.
-func (c *Collector) Records() []pipeline.TraceRecord { return c.recs }
+// Len returns the number of buffered records.
+func (c *Collector) Len() int { return len(c.recs) }
+
+// Records returns the buffered records in emission order. Until the ring
+// wraps this is the internal buffer; after wraparound a rotated copy is
+// returned so callers still see oldest-first order.
+func (c *Collector) Records() []pipeline.TraceRecord {
+	if c.head == 0 {
+		return c.recs
+	}
+	out := make([]pipeline.TraceRecord, 0, len(c.recs))
+	out = append(out, c.recs[c.head:]...)
+	out = append(out, c.recs[:c.head]...)
+	return out
+}
 
 // Stats summarises a record buffer.
 type Stats struct {

@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"strings"
@@ -7,17 +7,17 @@ import (
 	"whisper/internal/core"
 	"whisper/internal/cpu"
 	"whisper/internal/kernel"
-	"whisper/internal/pipeline"
+	"whisper/internal/trace"
 )
 
-func bootTraced(t *testing.T) (*kernel.Kernel, *Collector) {
+func bootTraced(t *testing.T) (*kernel.Kernel, *trace.Collector) {
 	t.Helper()
 	m := cpu.MustMachine(cpu.I7_7700(), 5)
 	k, err := kernel.Boot(m, kernel.Config{KASLR: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := NewCollector(0)
+	c := trace.NewCollector(0)
 	c.Attach(m.Pipe)
 	return k, c
 }
@@ -65,7 +65,7 @@ func TestRenderShowsLanes(t *testing.T) {
 	if _, err := pr.Probe(core.UnmappedVA, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	out := Render(c.Records(), 80)
+	out := trace.Render(c.Records(), 80)
 	for _, want := range []string{"pipeline trace", "transient", "not-present fault", "R"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
@@ -78,26 +78,8 @@ func TestRenderShowsLanes(t *testing.T) {
 }
 
 func TestRenderEmpty(t *testing.T) {
-	if out := Render(nil, 40); !strings.Contains(out, "no trace") {
+	if out := trace.Render(nil, 40); !strings.Contains(out, "no trace") {
 		t.Fatalf("empty render = %q", out)
-	}
-}
-
-func TestCollectorCapacity(t *testing.T) {
-	c := NewCollector(3)
-	for i := 0; i < 10; i++ {
-		c.add(pipeline.TraceRecord{Seq: uint64(i)})
-	}
-	recs := c.Records()
-	if len(recs) != 3 {
-		t.Fatalf("len = %d", len(recs))
-	}
-	if recs[0].Seq != 7 || recs[2].Seq != 9 {
-		t.Fatalf("ring kept wrong records: %+v", recs)
-	}
-	c.Reset()
-	if len(c.Records()) != 0 {
-		t.Fatal("Reset did not clear")
 	}
 }
 
@@ -109,7 +91,7 @@ func TestTracerDoesNotPerturbTiming(t *testing.T) {
 			t.Fatal(err)
 		}
 		if attach {
-			NewCollector(0).Attach(m.Pipe)
+			trace.NewCollector(0).Attach(m.Pipe)
 		}
 		pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
 		if err != nil {
