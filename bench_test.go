@@ -39,7 +39,7 @@ func bootBench(b *testing.B, model cpu.Model, cfg kernel.Config, seed int64) *ke
 func BenchmarkFig1bToTE(b *testing.B) {
 	hits := 0
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig1b(5, experiments.DefaultSeed+int64(i))
+		r, err := experiments.Fig1b(experiments.Serial(), 5, experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +55,7 @@ func BenchmarkFig1bToTE(b *testing.B) {
 func BenchmarkTable2Matrix(b *testing.B) {
 	agree := 0
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table2(experiments.DefaultTable2Params(), experiments.DefaultSeed+int64(i))
+		rows, err := experiments.Table2(experiments.Serial(), experiments.DefaultTable2Params(), experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func BenchmarkTable2Matrix(b *testing.B) {
 func BenchmarkTable3PMU(b *testing.B) {
 	matches, total := 0, 0
 	for i := 0; i < b.N; i++ {
-		scenes, err := experiments.Table3(experiments.DefaultSeed + int64(i))
+		scenes, err := experiments.Table3(experiments.Serial(), experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -434,7 +434,7 @@ func BenchmarkFig3Frontend(b *testing.B) {
 func BenchmarkFig4UopsIssued(b *testing.B) {
 	flips := 0
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig4(experiments.DefaultSeed + int64(i))
+		pts, err := experiments.Fig4(experiments.Serial(), experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -503,7 +503,7 @@ func BenchmarkProbeTracingOverhead(b *testing.B) {
 func BenchmarkMitigationMatrix(b *testing.B) {
 	agree := 0
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Mitigations(experiments.DefaultSeed + int64(i))
+		rows, err := experiments.Mitigations(experiments.Serial(), experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -519,7 +519,7 @@ func BenchmarkMitigationMatrix(b *testing.B) {
 func BenchmarkStealthDetector(b *testing.B) {
 	asExpected := 0
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Stealth(experiments.DefaultSeed + int64(i))
+		rows, err := experiments.Stealth(experiments.Serial(), experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -545,7 +545,7 @@ func BenchmarkCondFamily(b *testing.B) {
 	carrying := 0
 	total := 0
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.CondFamily(experiments.DefaultSeed + int64(i))
+		rows, err := experiments.CondFamily(experiments.Serial(), experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -612,13 +612,45 @@ func BenchmarkRecoveryDebtAblation(b *testing.B) {
 	b.ReportMetric(float64(broken)/float64(b.N), "signal-gone-rate")
 }
 
+// runAllParams is the workload both RunAll benchmarks share, sized so the
+// serial/parallel comparison finishes quickly but still spans every artefact.
+func runAllParams(parallel int) experiments.ReportParams {
+	p := experiments.DefaultReportParams()
+	p.ThroughputBytes = 4
+	p.KASLRReps = 3
+	p.Fig1bBatches = 3
+	p.Parallel = parallel
+	return p
+}
+
+// BenchmarkRunAllSerial regenerates the full report on one sched worker —
+// the reference cost the parallel engine is measured against.
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(runAllParams(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllParallel regenerates the same report on four workers; the
+// output is byte-identical (TestRunAllParallelByteIdentical), so the entire
+// delta vs BenchmarkRunAllSerial is scheduler speedup.
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(runAllParams(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkNoiseSweep measures attack robustness vs timer jitter (the
 // transition the NoiseSweep experiment documents: vote decoder up to
 // ~signal/3 jitter, median decoder beyond it).
 func BenchmarkNoiseSweep(b *testing.B) {
 	recovered, total := 0, 0
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.NoiseSweep(experiments.DefaultSeed + int64(i))
+		pts, err := experiments.NoiseSweep(experiments.Serial(), experiments.DefaultSeed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -16,13 +16,14 @@ import (
 
 func main() {
 	var (
-		table3 = flag.Bool("table3", false, "regenerate Table 3 (all scenes)")
-		flow   = flag.Bool("flow", false, "describe and demonstrate the 3-stage analysis flow")
-		events = flag.Bool("events", false, "stage 1 only: list the harvested event records")
-		vendor = flag.String("vendor", "intel", "event vendor for -events: intel|amd")
-		seed   = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
-		topN   = flag.Int("top", 12, "significant events to show per scene")
-		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		table3   = flag.Bool("table3", false, "regenerate Table 3 (all scenes)")
+		flow     = flag.Bool("flow", false, "describe and demonstrate the 3-stage analysis flow")
+		events   = flag.Bool("events", false, "stage 1 only: list the harvested event records")
+		vendor   = flag.String("vendor", "intel", "event vendor for -events: intel|amd")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
+		topN     = flag.Int("top", 12, "significant events to show per scene")
+		parallel = flag.Int("parallel", 0, "sched workers for the scene sweep (<=0: GOMAXPROCS)")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
@@ -67,7 +68,7 @@ func main() {
 	}
 
 	sp := reg.StartWallSpan("pmutool.table3")
-	scenes, err := experiments.Table3(*seed)
+	scenes, err := experiments.Table3(experiments.Exec{Parallel: *parallel, Obs: reg}, *seed)
 	sp.End(0)
 	if err != nil {
 		fail(err)

@@ -4,9 +4,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"whisper/internal/experiments"
 	"whisper/internal/obs"
@@ -14,16 +17,22 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all|table1|table2|table3|fig1b|fig3|fig4|throughput|kaslr|mitigations|stealth|condfamily|noise")
-		seed   = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
-		bytes  = flag.Int("bytes", 32, "payload size for throughput experiments")
-		reps   = flag.Int("reps", 16, "probes per KASLR candidate slot")
-		asJSON = flag.Bool("json", false, "run everything and emit one JSON report to stdout")
+		exp      = flag.String("exp", "all", "experiment: all|table1|table2|table3|fig1b|fig3|fig4|throughput|kaslr|mitigations|stealth|condfamily|noise")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "deterministic seed")
+		bytes    = flag.Int("bytes", 32, "payload size for throughput experiments")
+		reps     = flag.Int("reps", 16, "probes per KASLR candidate slot")
+		parallel = flag.Int("parallel", 0, "sched workers per sweep (<=0: GOMAXPROCS); output is identical at any setting")
+		asJSON   = flag.Bool("json", false, "run everything and emit one JSON report to stdout")
 
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the scheduler pools: pending cells are dropped, running
+	// ones drain, and the run exits with the context error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// Each experiment crosses several simulated machines, so tetbench records
 	// wall-clock stage spans; nil (no flag) keeps the runs uninstrumented.
@@ -31,6 +40,7 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" {
 		reg = obs.NewRegistry()
 	}
+	ex := experiments.Exec{Ctx: ctx, Parallel: *parallel, Obs: reg}
 	writeOutputs := func() {
 		if *traceOut != "" {
 			if err := reg.WriteTraceFile(*traceOut, nil); err != nil {
@@ -53,6 +63,8 @@ func main() {
 		params.Seed = *seed
 		params.ThroughputBytes = *bytes
 		params.KASLRReps = *reps
+		params.Parallel = *parallel
+		params.Ctx = ctx
 		params.Obs = reg
 		report, err := experiments.RunAll(params)
 		if err != nil {
@@ -89,7 +101,7 @@ func main() {
 		return nil
 	})
 	run("table2", func() error {
-		rows, err := experiments.Table2(experiments.DefaultTable2Params(), *seed)
+		rows, err := experiments.Table2(ex, experiments.DefaultTable2Params(), *seed)
 		if err != nil {
 			return err
 		}
@@ -103,7 +115,7 @@ func main() {
 		return nil
 	})
 	run("table3", func() error {
-		scenes, err := experiments.Table3(*seed)
+		scenes, err := experiments.Table3(ex, *seed)
 		if err != nil {
 			return err
 		}
@@ -111,7 +123,7 @@ func main() {
 		return nil
 	})
 	run("fig1b", func() error {
-		r, err := experiments.Fig1b(8, *seed)
+		r, err := experiments.Fig1b(ex, 8, *seed)
 		if err != nil {
 			return err
 		}
@@ -127,7 +139,7 @@ func main() {
 		return nil
 	})
 	run("fig4", func() error {
-		pts, err := experiments.Fig4(*seed)
+		pts, err := experiments.Fig4(ex, *seed)
 		if err != nil {
 			return err
 		}
@@ -135,7 +147,7 @@ func main() {
 		return nil
 	})
 	run("throughput", func() error {
-		rows, err := experiments.Throughput(*bytes, *seed)
+		rows, err := experiments.Throughput(ex, *bytes, *seed)
 		if err != nil {
 			return err
 		}
@@ -143,7 +155,7 @@ func main() {
 		return nil
 	})
 	run("kaslr", func() error {
-		rows, err := experiments.KASLRSuite(*reps, *seed)
+		rows, err := experiments.KASLRSuite(ex, *reps, *seed)
 		if err != nil {
 			return err
 		}
@@ -151,7 +163,7 @@ func main() {
 		return nil
 	})
 	run("mitigations", func() error {
-		rows, err := experiments.Mitigations(*seed)
+		rows, err := experiments.Mitigations(ex, *seed)
 		if err != nil {
 			return err
 		}
@@ -165,7 +177,7 @@ func main() {
 		return nil
 	})
 	run("stealth", func() error {
-		rows, err := experiments.Stealth(*seed)
+		rows, err := experiments.Stealth(ex, *seed)
 		if err != nil {
 			return err
 		}
@@ -173,7 +185,7 @@ func main() {
 		return nil
 	})
 	run("condfamily", func() error {
-		rows, err := experiments.CondFamily(*seed)
+		rows, err := experiments.CondFamily(ex, *seed)
 		if err != nil {
 			return err
 		}
@@ -181,7 +193,7 @@ func main() {
 		return nil
 	})
 	run("noise", func() error {
-		pts, err := experiments.NoiseSweep(*seed)
+		pts, err := experiments.NoiseSweep(ex, *seed)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+	"whisper/internal/obs"
+	"whisper/internal/sched"
+)
+
+// Farm is the parallel form of a multi-byte TET-MD leak: instead of one
+// prober walking the secret byte by byte on a single machine, the leak is
+// sharded across per-byte machine replicas — attacker processes pinned to
+// different cores, each timing its own transient windows. Replica i boots
+// from sched.DeriveSeed(RootSeed, "replica/<i>"), a function of the byte
+// position alone, so the recovered data is byte-identical at any Parallel
+// and identical to running the replicas one after another.
+type Farm struct {
+	Model    cpu.Model
+	Config   kernel.Config
+	RootSeed int64
+	// Parallel is the sched worker count (<= 0: GOMAXPROCS).
+	Parallel int
+	// Batches overrides the per-byte vote batches when > 0.
+	Batches int
+	Ctx     context.Context
+	Obs     *obs.Registry
+}
+
+// farmCell is one replica's recovered byte and its simulated cost.
+type farmCell struct {
+	b      byte
+	cycles uint64
+}
+
+// LeakSecret plants secret on every replica's kernel and recovers one byte
+// per replica. The result's Cycles is the slowest replica's cost — the
+// critical path when the replicas really do run on distinct cores — and Bps
+// is derived from it at the model's clock, so every reported number is a
+// pure function of (Model, Config, RootSeed, secret).
+func (f *Farm) LeakSecret(secret []byte) (LeakResult, error) {
+	jobs := make([]sched.Job[farmCell], len(secret))
+	for i := range secret {
+		i := i
+		jobs[i] = sched.Job[farmCell]{
+			Key: fmt.Sprintf("replica/%d", i),
+			Run: func(_ context.Context, seed int64) (farmCell, error) {
+				m, err := cpu.NewMachine(f.Model, seed)
+				if err != nil {
+					return farmCell{}, err
+				}
+				k, err := kernel.Boot(m, f.Config)
+				if err != nil {
+					return farmCell{}, err
+				}
+				k.WriteSecret(secret)
+				md, err := NewTETMeltdown(k)
+				if err != nil {
+					return farmCell{}, err
+				}
+				if f.Batches > 0 {
+					md.Batches = f.Batches
+				}
+				start := m.Pipe.Cycle()
+				b, err := md.LeakByte(k.SecretVA() + uint64(i))
+				if err != nil {
+					return farmCell{}, fmt.Errorf("core: farm replica %d: %w", i, err)
+				}
+				return farmCell{b: b, cycles: m.Pipe.Cycle() - start}, nil
+			},
+		}
+	}
+	ctx := f.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cells, err := sched.Map(ctx, sched.Options{
+		Name: "farm", Parallel: f.Parallel, RootSeed: f.RootSeed, Obs: f.Obs,
+	}, jobs)
+	if err != nil {
+		return LeakResult{}, err
+	}
+	res := LeakResult{Data: make([]byte, len(cells))}
+	for i, c := range cells {
+		res.Data[i] = c.b
+		if c.cycles > res.Cycles {
+			res.Cycles = c.cycles
+		}
+	}
+	if res.Cycles > 0 {
+		res.Bps = float64(len(cells)) / (float64(res.Cycles) / f.Model.ClockHz)
+	}
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+)
+
+// TestFarmRecoversSecret leaks a secret through per-byte replicas and checks
+// the bytes come back in position order.
+func TestFarmRecoversSecret(t *testing.T) {
+	secret := []byte("farm-leak")
+	f := &Farm{
+		Model:    cpu.I7_7700(),
+		Config:   kernel.Config{KASLR: true},
+		RootSeed: 7,
+		Parallel: 4,
+		Batches:  3,
+	}
+	res, err := f.LeakSecret(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Data, secret) {
+		t.Fatalf("leaked %q, want %q", res.Data, secret)
+	}
+	if res.Cycles == 0 || res.Bps <= 0 {
+		t.Fatalf("degenerate cost: cycles=%d bps=%f", res.Cycles, res.Bps)
+	}
+}
+
+// TestFarmParallelInvariant pins the determinism contract: the full result —
+// data, critical-path cycles, throughput — is identical at every worker
+// count, because each replica's machine is seeded by byte position alone.
+func TestFarmParallelInvariant(t *testing.T) {
+	secret := []byte("invariant")
+	run := func(parallel int) LeakResult {
+		f := &Farm{
+			Model:    cpu.I7_7700(),
+			Config:   kernel.Config{KASLR: true},
+			RootSeed: 7,
+			Parallel: parallel,
+			Batches:  3,
+		}
+		res, err := f.LeakSecret(secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, p := range []int{2, 8} {
+		par := run(p)
+		if !bytes.Equal(par.Data, serial.Data) {
+			t.Errorf("parallel=%d data %q, serial %q", p, par.Data, serial.Data)
+		}
+		if par.Cycles != serial.Cycles || par.Bps != serial.Bps {
+			t.Errorf("parallel=%d cost (%d, %f), serial (%d, %f)",
+				p, par.Cycles, par.Bps, serial.Cycles, serial.Bps)
+		}
+	}
+}

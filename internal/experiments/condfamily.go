@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"whisper/internal/cpu"
 	"whisper/internal/isa"
 	"whisper/internal/kernel"
+	"whisper/internal/sched"
 	"whisper/internal/stats"
 )
 
@@ -59,77 +61,92 @@ var condNames = map[isa.Cond]string{
 
 // CondFamily measures the TET signal for every conditional-jump flavour the
 // ISA implements, on the i7-7700. The paper verifies JE/JZ, JNE/JNZ and JC;
-// this sweep covers the whole family.
-func CondFamily(seed int64) ([]CondRow, error) {
-	var rows []CondRow
+// this sweep covers the whole family. Each flavour boots its own machine
+// from the same seed, so the flavours are independent scheduler cells.
+func CondFamily(ex Exec, seed int64) ([]CondRow, error) {
+	var jobs []sched.Job[CondRow]
 	for c := isa.CondE; c <= isa.CondG; c++ {
-		trigCx, trigDx, quietCx, quietDx, ok := condOperands(c)
-		if !ok {
+		c := c
+		if _, _, _, _, ok := condOperands(c); !ok {
 			continue
 		}
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
-		if err != nil {
-			return nil, err
-		}
-		prog, err := condGadget(c)
-		if err != nil {
-			return nil, err
-		}
-		p := k.Machine().Pipe
-		probe := func(cx, dx uint64) (uint64, error) {
-			p.SetReg(isa.RBX, core.UnmappedVA)
-			p.SetReg(isa.RCX, cx)
-			p.SetReg(isa.RDX, dx)
-			for attempt := 0; attempt < 4; attempt++ {
-				if _, err := p.Exec(prog, 500_000); err != nil {
-					return 0, err
-				}
-				if t1, t2 := p.Reg(isa.RSI), p.Reg(isa.RDI); t2 >= t1 {
-					return t2 - t1, nil
-				}
-			}
-			return 0, fmt.Errorf("condfamily: timer unusable")
-		}
-		measure := func(cx, dx uint64) (uint64, error) {
-			// De-train with quiet probes, then measure; median of 9.
-			var samples []uint64
-			for i := 0; i < 9; i++ {
-				for j := 0; j < 2; j++ {
-					if _, err := probe(quietCx, quietDx); err != nil {
-						return 0, err
-					}
-				}
-				t, err := probe(cx, dx)
-				if err != nil {
-					return 0, err
-				}
-				samples = append(samples, t)
-			}
-			return stats.MedianU64(samples), nil
-		}
-		// Warm up.
-		for i := 0; i < 12; i++ {
-			if _, err := probe(quietCx, quietDx); err != nil {
-				return nil, err
-			}
-		}
-		quiet, err := measure(quietCx, quietDx)
-		if err != nil {
-			return nil, err
-		}
-		trig, err := measure(trigCx, trigDx)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, CondRow{
-			Cond:      c,
-			Name:      condNames[c],
-			QuietToTE: quiet,
-			TrigToTE:  trig,
-			Delta:     int64(trig) - int64(quiet),
+		jobs = append(jobs, sched.Job[CondRow]{
+			Key: condNames[c],
+			Run: func(context.Context, int64) (CondRow, error) {
+				return condRow(c, seed)
+			},
 		})
 	}
-	return rows, nil
+	return sched.Map(ex.ctx(), ex.opts("condfamily", seed), jobs)
+}
+
+// condRow measures one conditional-jump flavour on a fresh machine.
+func condRow(c isa.Cond, seed int64) (CondRow, error) {
+	trigCx, trigDx, quietCx, quietDx, ok := condOperands(c)
+	if !ok {
+		return CondRow{}, fmt.Errorf("condfamily: no operands for cond %d", c)
+	}
+	k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+	if err != nil {
+		return CondRow{}, err
+	}
+	prog, err := condGadget(c)
+	if err != nil {
+		return CondRow{}, err
+	}
+	p := k.Machine().Pipe
+	probe := func(cx, dx uint64) (uint64, error) {
+		p.SetReg(isa.RBX, core.UnmappedVA)
+		p.SetReg(isa.RCX, cx)
+		p.SetReg(isa.RDX, dx)
+		for attempt := 0; attempt < 4; attempt++ {
+			if _, err := p.Exec(prog, 500_000); err != nil {
+				return 0, err
+			}
+			if t1, t2 := p.Reg(isa.RSI), p.Reg(isa.RDI); t2 >= t1 {
+				return t2 - t1, nil
+			}
+		}
+		return 0, fmt.Errorf("condfamily: timer unusable")
+	}
+	measure := func(cx, dx uint64) (uint64, error) {
+		// De-train with quiet probes, then measure; median of 9.
+		var samples []uint64
+		for i := 0; i < 9; i++ {
+			for j := 0; j < 2; j++ {
+				if _, err := probe(quietCx, quietDx); err != nil {
+					return 0, err
+				}
+			}
+			t, err := probe(cx, dx)
+			if err != nil {
+				return 0, err
+			}
+			samples = append(samples, t)
+		}
+		return stats.MedianU64(samples), nil
+	}
+	// Warm up.
+	for i := 0; i < 12; i++ {
+		if _, err := probe(quietCx, quietDx); err != nil {
+			return CondRow{}, err
+		}
+	}
+	quiet, err := measure(quietCx, quietDx)
+	if err != nil {
+		return CondRow{}, err
+	}
+	trig, err := measure(trigCx, trigDx)
+	if err != nil {
+		return CondRow{}, err
+	}
+	return CondRow{
+		Cond:      c,
+		Name:      condNames[c],
+		QuietToTE: quiet,
+		TrigToTE:  trig,
+		Delta:     int64(trig) - int64(quiet),
+	}, nil
 }
 
 // condGadget is the Fig. 1a gadget with a parameterised condition code.

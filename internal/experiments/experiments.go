@@ -8,15 +8,50 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"whisper/internal/cpu"
 	"whisper/internal/kernel"
+	"whisper/internal/obs"
+	"whisper/internal/sched"
 )
 
 // DefaultSeed makes every experiment reproducible by default.
 const DefaultSeed = 7
+
+// Exec carries the cross-cutting execution knobs every sweep shares: the
+// cancellation context, the worker count for the internal/sched pool the
+// sweep shards its independent cells over, and the telemetry registry.
+//
+// The zero value is valid and means: background context, GOMAXPROCS
+// workers, no telemetry. Every sweep's output is byte-identical at every
+// Parallel setting — each cell's machine boots from a seed fixed by the
+// cell's identity, and the scheduler collects results in cell order — so
+// Parallel only trades wall-clock for CPU.
+type Exec struct {
+	Ctx      context.Context
+	Parallel int
+	Obs      *obs.Registry
+}
+
+// Serial returns an Exec that runs every cell on one worker — the reference
+// ordering the parallel runs are measured against.
+func Serial() Exec { return Exec{Parallel: 1} }
+
+// ctx resolves the context, defaulting to Background.
+func (ex Exec) ctx() context.Context {
+	if ex.Ctx == nil {
+		return context.Background()
+	}
+	return ex.Ctx
+}
+
+// opts builds the scheduler options for one sweep's pool.
+func (ex Exec) opts(name string, seed int64) sched.Options {
+	return sched.Options{Name: name, Parallel: ex.Parallel, RootSeed: seed, Obs: ex.Obs}
+}
 
 // boot builds a machine+kernel pair.
 func boot(model cpu.Model, cfg kernel.Config, seed int64) (*kernel.Kernel, error) {

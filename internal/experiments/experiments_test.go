@@ -15,7 +15,7 @@ func TestTable1Renders(t *testing.T) {
 }
 
 func TestTable2MatchesPaper(t *testing.T) {
-	rows, err := Table2(DefaultTable2Params(), DefaultSeed)
+	rows, err := Table2(Exec{}, DefaultTable2Params(), DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestTable3DirectionsMatchPaper(t *testing.T) {
-	scenes, err := Table3(DefaultSeed)
+	scenes, err := Table3(Exec{}, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestTable3DirectionsMatchPaper(t *testing.T) {
 }
 
 func TestFig1bDecodesSecret(t *testing.T) {
-	r, err := Fig1b(5, DefaultSeed)
+	r, err := Fig1b(Exec{}, 5, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestFig3FrontendShift(t *testing.T) {
 }
 
 func TestFig4SignFlip(t *testing.T) {
-	pts, err := Fig4(DefaultSeed)
+	pts, err := Fig4(Exec{}, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestFig4SignFlip(t *testing.T) {
 }
 
 func TestThroughputShape(t *testing.T) {
-	rows, err := Throughput(8, DefaultSeed)
+	rows, err := Throughput(Exec{}, 8, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestThroughputShape(t *testing.T) {
 }
 
 func TestKASLRSuiteOutcomes(t *testing.T) {
-	rows, err := KASLRSuite(8, DefaultSeed)
+	rows, err := KASLRSuite(Exec{}, 8, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestKASLRSuiteOutcomes(t *testing.T) {
 }
 
 func TestMitigationMatrixMatchesPaper(t *testing.T) {
-	rows, err := Mitigations(DefaultSeed)
+	rows, err := Mitigations(Exec{}, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestMitigationMatrixMatchesPaper(t *testing.T) {
 }
 
 func TestStealthAgainstCacheDetector(t *testing.T) {
-	rows, err := Stealth(DefaultSeed)
+	rows, err := Stealth(Exec{}, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestStealthAgainstCacheDetector(t *testing.T) {
 }
 
 func TestCondFamilyAllConditionsCarrySignal(t *testing.T) {
-	rows, err := CondFamily(DefaultSeed)
+	rows, err := CondFamily(Exec{}, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestRunAllReportJSON(t *testing.T) {
 }
 
 func TestNoiseSweepShape(t *testing.T) {
-	pts, err := NoiseSweep(DefaultSeed)
+	pts, err := NoiseSweep(Exec{}, DefaultSeed)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"whisper/internal/isa"
 	"whisper/internal/kernel"
 	"whisper/internal/pmu"
+	"whisper/internal/sched"
 	"whisper/internal/stats"
 )
 
@@ -21,39 +23,63 @@ type Fig1bResult struct {
 	Decoded     byte
 }
 
-// Fig1b runs the Figure 1b experiment on the i7-7700.
-func Fig1b(batches int, seed int64) (*Fig1bResult, error) {
-	k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
-	if err != nil {
-		return nil, err
-	}
+// fig1bBatch is one batch's full test-value sweep and its argmax vote.
+type fig1bBatch struct {
+	totes [256]uint64
+	vote  int
+}
+
+// Fig1b runs the Figure 1b experiment on the i7-7700. Each batch is an
+// independent scheduler cell on its own machine, seeded by
+// sched.DeriveSeed(seed, "batch/<i>") — the job key, never the worker — so
+// the frequency plot is byte-identical at any Exec.Parallel.
+func Fig1b(ex Exec, batches int, seed int64) (*Fig1bResult, error) {
 	const secret = 'S'
-	k.WriteSecret([]byte{secret})
-	pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+	jobs := make([]sched.Job[fig1bBatch], batches)
+	for batch := 0; batch < batches; batch++ {
+		jobs[batch] = sched.Job[fig1bBatch]{
+			Key: fmt.Sprintf("batch/%d", batch),
+			Run: func(_ context.Context, bseed int64) (fig1bBatch, error) {
+				k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, bseed)
+				if err != nil {
+					return fig1bBatch{}, err
+				}
+				k.WriteSecret([]byte{secret})
+				pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+				if err != nil {
+					return fig1bBatch{}, err
+				}
+				// Warm up the fresh machine's predictor/DSB state.
+				for i := 0; i < 16; i++ {
+					if _, err := pr.Probe(k.SecretVA(), 256, 0); err != nil {
+						return fig1bBatch{}, err
+					}
+				}
+				var out fig1bBatch
+				for tv := 0; tv < 256; tv++ {
+					t, err := pr.Probe(k.SecretVA(), uint64(tv), 0)
+					if err != nil {
+						return fig1bBatch{}, err
+					}
+					out.totes[tv] = t
+				}
+				out.vote = stats.Argmax(out.totes[:])
+				return out, nil
+			},
+		}
+	}
+	results, err := sched.Map(ex.ctx(), ex.opts("fig1b", seed), jobs)
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig1bResult{Secret: secret}
-	// Warm up.
-	for i := 0; i < 16; i++ {
-		if _, err := pr.Probe(k.SecretVA(), 256, 0); err != nil {
-			return nil, err
-		}
-	}
-	totes := make([]uint64, 256)
-	for batch := 0; batch < batches; batch++ {
+	for _, b := range results { // batch order, regardless of completion order
 		for tv := 0; tv < 256; tv++ {
-			t, err := pr.Probe(k.SecretVA(), uint64(tv), 0)
-			if err != nil {
-				return nil, err
-			}
-			totes[tv] = t
-			res.Samples[tv] = append(res.Samples[tv], t)
+			res.Samples[tv] = append(res.Samples[tv], b.totes[tv])
 		}
-		res.ArgmaxVotes[stats.Argmax(totes)]++
+		res.ArgmaxVotes[b.vote]++
 	}
-	votes := res.ArgmaxVotes[:]
-	res.Decoded = byte(stats.ArgmaxInt(votes))
+	res.Decoded = byte(stats.ArgmaxInt(res.ArgmaxVotes[:]))
 	return res, nil
 }
 
@@ -100,75 +126,86 @@ type Fig4Point struct {
 // UOPS_ISSUED.ANY delta between trigger and no-trigger flips sign — close
 // fences throttle the fall-through path (trigger issues more), distant
 // fences leave it free running until the rollback (trigger issues fewer).
-func Fig4(seed int64) ([]Fig4Point, error) {
-	model := cpu.I7_6700()
-	var out []Fig4Point
-	for _, nops := range []int{0, 2, 4, 8, 16, 24, 32, 48} {
-		k, err := boot(model, kernel.Config{KASLR: true}, seed)
-		if err != nil {
-			return nil, err
+func Fig4(ex Exec, seed int64) ([]Fig4Point, error) {
+	sweep := []int{0, 2, 4, 8, 16, 24, 32, 48}
+	jobs := make([]sched.Job[Fig4Point], len(sweep))
+	for i, nops := range sweep {
+		nops := nops
+		jobs[i] = sched.Job[Fig4Point]{
+			Key: fmt.Sprintf("nops/%d", nops),
+			Run: func(context.Context, int64) (Fig4Point, error) {
+				return fig4Point(nops, seed)
+			},
 		}
-		m := k.Machine()
-		prog, err := fig4Gadget(nops)
-		if err != nil {
-			return nil, err
-		}
-		probe := func(trigger bool) error {
-			cmp := uint64(0)
-			if trigger {
-				cmp = 1
-			}
-			p := m.Pipe
-			p.SetReg(isa.RBX, core.UnmappedVA)
-			p.SetReg(isa.RDX, 1)
-			p.SetReg(isa.RCX, cmp)
-			_, err := p.Exec(prog, 500_000)
-			return err
-		}
-		detrain := func() error {
-			for i := 0; i < 2; i++ {
-				if err := probe(false); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		for i := 0; i < 12; i++ {
-			if err := probe(false); err != nil {
-				return nil, err
-			}
-		}
-		var probeErr error
-		const runs = 16
-		mean := func(trigger bool) float64 {
-			var total float64
-			for i := 0; i < runs; i++ {
-				if err := detrain(); err != nil {
-					probeErr = err
-					return 0
-				}
-				before := m.PMU.Read(pmu.UopsIssuedAny)
-				if err := probe(trigger); err != nil {
-					probeErr = err
-					return 0
-				}
-				total += float64(m.PMU.Read(pmu.UopsIssuedAny) - before)
-			}
-			return total / runs
-		}
-		a := mean(false)
-		b := mean(true)
-		if probeErr != nil {
-			return nil, probeErr
-		}
-		out = append(out, Fig4Point{
-			NopsBeforeFence: nops,
-			UopsNoTrigger:   a,
-			UopsTrigger:     b,
-			Delta:           b - a,
-		})
 	}
-	return out, nil
+	return sched.Map(ex.ctx(), ex.opts("fig4", seed), jobs)
+}
+
+// fig4Point measures one fence-distance configuration on a fresh machine.
+func fig4Point(nops int, seed int64) (Fig4Point, error) {
+	k, err := boot(cpu.I7_6700(), kernel.Config{KASLR: true}, seed)
+	if err != nil {
+		return Fig4Point{}, err
+	}
+	m := k.Machine()
+	prog, err := fig4Gadget(nops)
+	if err != nil {
+		return Fig4Point{}, err
+	}
+	probe := func(trigger bool) error {
+		cmp := uint64(0)
+		if trigger {
+			cmp = 1
+		}
+		p := m.Pipe
+		p.SetReg(isa.RBX, core.UnmappedVA)
+		p.SetReg(isa.RDX, 1)
+		p.SetReg(isa.RCX, cmp)
+		_, err := p.Exec(prog, 500_000)
+		return err
+	}
+	detrain := func() error {
+		for i := 0; i < 2; i++ {
+			if err := probe(false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < 12; i++ {
+		if err := probe(false); err != nil {
+			return Fig4Point{}, err
+		}
+	}
+	var probeErr error
+	const runs = 16
+	mean := func(trigger bool) float64 {
+		var total float64
+		for i := 0; i < runs; i++ {
+			if err := detrain(); err != nil {
+				probeErr = err
+				return 0
+			}
+			before := m.PMU.Read(pmu.UopsIssuedAny)
+			if err := probe(trigger); err != nil {
+				probeErr = err
+				return 0
+			}
+			total += float64(m.PMU.Read(pmu.UopsIssuedAny) - before)
+		}
+		return total / runs
+	}
+	a := mean(false)
+	b := mean(true)
+	if probeErr != nil {
+		return Fig4Point{}, probeErr
+	}
+	return Fig4Point{
+		NopsBeforeFence: nops,
+		UopsNoTrigger:   a,
+		UopsTrigger:     b,
+		Delta:           b - a,
+	}, nil
 }
 
 // fig4Gadget is the transient-flow gadget with a parameterised nop sled

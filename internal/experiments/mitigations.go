@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"whisper/internal/cpu"
 	"whisper/internal/defense"
 	"whisper/internal/kernel"
+	"whisper/internal/sched"
 	"whisper/internal/stats"
 )
 
@@ -29,115 +31,111 @@ var mitSecret = []byte("MITI")
 // defenses (InvisiSpec-style invisible speculation) stop Flush+Reload
 // attacks but not TET (§6.1); KPTI and VERW-style buffer scrubbing stop
 // TET-MD and TET-ZBL respectively (§6.2); the microcode fix stops both
-// (Table 2's patched parts).
-func Mitigations(seed int64) ([]MitigationRow, error) {
-	var rows []MitigationRow
-
-	runMD := func(defName string, model cpu.Model, cfg kernel.Config, note string) error {
+// (Table 2's patched parts). Every cell boots its own machine from the same
+// seed, so the cells are independent scheduler jobs collected in matrix
+// order.
+func Mitigations(ex Exec, seed int64) ([]MitigationRow, error) {
+	runMD := func(defName string, model cpu.Model, cfg kernel.Config, note string) (MitigationRow, error) {
 		k, err := boot(model, cfg, seed)
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		k.WriteSecret(mitSecret)
 		md, err := core.NewTETMeltdown(k)
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		md.Batches = 3
 		res, err := md.Leak(k.SecretVA(), len(mitSecret))
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		er := stats.ByteErrorRate(res.Data, mitSecret)
-		rows = append(rows, MitigationRow{
+		return MitigationRow{
 			Defense: defName, Attack: "TET-MD", Works: er <= successThreshold,
 			ErrRate: er, Note: note,
-		})
-		return nil
+		}, nil
 	}
-	runFRMD := func(defName string, model cpu.Model, cfg kernel.Config, note string) error {
+	runFRMD := func(defName string, model cpu.Model, cfg kernel.Config, note string) (MitigationRow, error) {
 		k, err := boot(model, cfg, seed)
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		k.WriteSecret(mitSecret)
 		fr, err := baseline.NewMeltdownFR(k)
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		res, err := fr.Leak(k.SecretVA(), len(mitSecret))
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		er := stats.ByteErrorRate(res.Data, mitSecret)
-		rows = append(rows, MitigationRow{
+		return MitigationRow{
 			Defense: defName, Attack: "Meltdown-F+R", Works: er <= successThreshold,
 			ErrRate: er, Note: note,
-		})
-		return nil
+		}, nil
 	}
-	runZBL := func(defName string, cfg kernel.Config, note string) error {
+	runZBL := func(defName string, cfg kernel.Config, note string) (MitigationRow, error) {
 		k, err := boot(cpu.I7_7700(), cfg, seed)
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		k.WriteSecret(mitSecret)
 		z, err := core.NewTETZombieload(k)
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		z.Batches = 3
 		res, err := z.Leak(len(mitSecret))
 		if err != nil {
-			return err
+			return MitigationRow{}, err
 		}
 		er := stats.ByteErrorRate(res.Data, mitSecret)
-		rows = append(rows, MitigationRow{
+		return MitigationRow{
 			Defense: defName, Attack: "TET-ZBL", Works: er <= successThreshold,
 			ErrRate: er, Note: note,
-		})
-		return nil
+		}, nil
 	}
 
 	vulnerable := cpu.I7_7700()
 	invisiSpec := cpu.I7_7700()
 	invisiSpec.Pipe.InvisibleSpeculation = true
 
-	// §6.1: cache-centric defenses vs the two Meltdown variants.
-	if err := runMD("none", vulnerable, kernel.Config{KASLR: true}, ""); err != nil {
-		return nil, err
+	md := func(defName string, model cpu.Model, cfg kernel.Config, note string) func(context.Context, int64) (MitigationRow, error) {
+		return func(context.Context, int64) (MitigationRow, error) {
+			return runMD(defName, model, cfg, note)
+		}
 	}
-	if err := runFRMD("none", vulnerable, kernel.Config{KASLR: true}, ""); err != nil {
-		return nil, err
+	frmd := func(defName string, model cpu.Model, cfg kernel.Config, note string) func(context.Context, int64) (MitigationRow, error) {
+		return func(context.Context, int64) (MitigationRow, error) {
+			return runFRMD(defName, model, cfg, note)
+		}
 	}
-	if err := runMD("InvisiSpec", invisiSpec, kernel.Config{KASLR: true},
-		"timing channel unaffected by invisible speculation (§6.1)"); err != nil {
-		return nil, err
+	zbl := func(defName string, cfg kernel.Config, note string) func(context.Context, int64) (MitigationRow, error) {
+		return func(context.Context, int64) (MitigationRow, error) {
+			return runZBL(defName, cfg, note)
+		}
 	}
-	if err := runFRMD("InvisiSpec", invisiSpec, kernel.Config{KASLR: true},
-		"cache covert channel destroyed: transient fills suppressed"); err != nil {
-		return nil, err
+	jobs := []sched.Job[MitigationRow]{
+		// §6.1: cache-centric defenses vs the two Meltdown variants.
+		{Key: "none/md", Run: md("none", vulnerable, kernel.Config{KASLR: true}, "")},
+		{Key: "none/fr-md", Run: frmd("none", vulnerable, kernel.Config{KASLR: true}, "")},
+		{Key: "invisispec/md", Run: md("InvisiSpec", invisiSpec, kernel.Config{KASLR: true},
+			"timing channel unaffected by invisible speculation (§6.1)")},
+		{Key: "invisispec/fr-md", Run: frmd("InvisiSpec", invisiSpec, kernel.Config{KASLR: true},
+			"cache covert channel destroyed: transient fills suppressed")},
+		// §6.2: software mitigations.
+		{Key: "kpti/md", Run: md("KPTI", vulnerable, kernel.Config{KASLR: true, KPTI: true},
+			"secret unmapped in user tables: nothing to forward")},
+		{Key: "none/zbl", Run: zbl("none", kernel.Config{KASLR: true}, "")},
+		{Key: "verw/zbl", Run: zbl("VERW scrub", kernel.Config{KASLR: true, VERW: true},
+			"fill buffers scrubbed on context switch: stale data gone")},
+		// Microcode fix (the Table 2 patched parts).
+		{Key: "ucode/md", Run: md("microcode fix", cpu.I9_10980XE(), kernel.Config{KASLR: true},
+			"faulting loads forward zeros")},
 	}
-
-	// §6.2: software mitigations.
-	if err := runMD("KPTI", vulnerable, kernel.Config{KASLR: true, KPTI: true},
-		"secret unmapped in user tables: nothing to forward"); err != nil {
-		return nil, err
-	}
-	if err := runZBL("none", kernel.Config{KASLR: true}, ""); err != nil {
-		return nil, err
-	}
-	if err := runZBL("VERW scrub", kernel.Config{KASLR: true, VERW: true},
-		"fill buffers scrubbed on context switch: stale data gone"); err != nil {
-		return nil, err
-	}
-
-	// Microcode fix (the Table 2 patched parts).
-	if err := runMD("microcode fix", cpu.I9_10980XE(), kernel.Config{KASLR: true},
-		"faulting loads forward zeros"); err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return sched.Map(ex.ctx(), ex.opts("mitigations", seed), jobs)
 }
 
 // PaperMitigations is the expected outcome per the paper's §6 discussion.
@@ -189,61 +187,61 @@ type StealthRow struct {
 
 // Stealth reproduces the Table 1 / §3.3 stealth claim: an HPC-based
 // Flush+Reload detector ([15]-style) flags the cache-probing Meltdown but
-// stays silent on TET-MD, which retires essentially no missing loads.
-func Stealth(seed int64) ([]StealthRow, error) {
-	var rows []StealthRow
-
-	// TET-MD under the detector.
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
-		if err != nil {
-			return nil, err
-		}
-		k.WriteSecret(mitSecret)
-		md, err := core.NewTETMeltdown(k)
-		if err != nil {
-			return nil, err
-		}
-		md.Batches = 3
-		det := defense.NewCacheAnomalyDetector(k.Machine().PMU)
-		for i := 0; i < len(mitSecret); i++ {
-			if _, err := md.LeakByte(k.SecretVA() + uint64(i)); err != nil {
-				return nil, err
+// stays silent on TET-MD, which retires essentially no missing loads. The
+// two attacks run as independent scheduler cells on their own machines.
+func Stealth(ex Exec, seed int64) ([]StealthRow, error) {
+	jobs := []sched.Job[StealthRow]{
+		// TET-MD under the detector.
+		{Key: "tet-md", Run: func(context.Context, int64) (StealthRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+			if err != nil {
+				return StealthRow{}, err
 			}
-			det.Sample()
-		}
-		rows = append(rows, StealthRow{
-			Attack:    "TET-MD",
-			AlarmRate: det.AlarmRate(),
-			Detected:  det.AlarmRate() > 0.5,
-		})
-	}
-
-	// Meltdown-F+R under the detector.
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
-		if err != nil {
-			return nil, err
-		}
-		k.WriteSecret(mitSecret)
-		fr, err := baseline.NewMeltdownFR(k)
-		if err != nil {
-			return nil, err
-		}
-		det := defense.NewCacheAnomalyDetector(k.Machine().PMU)
-		for i := 0; i < len(mitSecret); i++ {
-			if _, err := fr.LeakByte(k.SecretVA() + uint64(i)); err != nil {
-				return nil, err
+			k.WriteSecret(mitSecret)
+			md, err := core.NewTETMeltdown(k)
+			if err != nil {
+				return StealthRow{}, err
 			}
-			det.Sample()
-		}
-		rows = append(rows, StealthRow{
-			Attack:    "Meltdown-F+R",
-			AlarmRate: det.AlarmRate(),
-			Detected:  det.AlarmRate() > 0.5,
-		})
+			md.Batches = 3
+			det := defense.NewCacheAnomalyDetector(k.Machine().PMU)
+			for i := 0; i < len(mitSecret); i++ {
+				if _, err := md.LeakByte(k.SecretVA() + uint64(i)); err != nil {
+					return StealthRow{}, err
+				}
+				det.Sample()
+			}
+			return StealthRow{
+				Attack:    "TET-MD",
+				AlarmRate: det.AlarmRate(),
+				Detected:  det.AlarmRate() > 0.5,
+			}, nil
+		}},
+		// Meltdown-F+R under the detector.
+		{Key: "meltdown-fr", Run: func(context.Context, int64) (StealthRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+			if err != nil {
+				return StealthRow{}, err
+			}
+			k.WriteSecret(mitSecret)
+			fr, err := baseline.NewMeltdownFR(k)
+			if err != nil {
+				return StealthRow{}, err
+			}
+			det := defense.NewCacheAnomalyDetector(k.Machine().PMU)
+			for i := 0; i < len(mitSecret); i++ {
+				if _, err := fr.LeakByte(k.SecretVA() + uint64(i)); err != nil {
+					return StealthRow{}, err
+				}
+				det.Sample()
+			}
+			return StealthRow{
+				Attack:    "Meltdown-F+R",
+				AlarmRate: det.AlarmRate(),
+				Detected:  det.AlarmRate() > 0.5,
+			}, nil
+		}},
 	}
-	return rows, nil
+	return sched.Map(ex.ctx(), ex.opts("stealth", seed), jobs)
 }
 
 // RenderStealth formats the detector comparison.

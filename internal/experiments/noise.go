@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"whisper/internal/core"
 	"whisper/internal/cpu"
 	"whisper/internal/kernel"
+	"whisper/internal/sched"
 	"whisper/internal/stats"
 )
 
@@ -24,10 +26,8 @@ type NoisePoint struct {
 // paper's "<3 % error in a real (noisy) environment" claim. The TET signal
 // is only a handful of cycles, so the argmax vote across batches is what
 // carries the attack once jitter rivals the signal.
-func NoiseSweep(seed int64) ([]NoisePoint, error) {
-	secret := []byte("NZ")
-	var out []NoisePoint
-	for _, pt := range []struct {
+func NoiseSweep(ex Exec, seed int64) ([]NoisePoint, error) {
+	points := []struct {
 		sigma   float64
 		batches int
 		mean    bool
@@ -38,38 +38,53 @@ func NoiseSweep(seed int64) ([]NoisePoint, error) {
 		{3, 9, false},
 		{3, 21, true},
 		{6, 21, true},
-	} {
-		model := cpu.I7_7700()
-		model.Pipe.NoiseSigma = pt.sigma
-		k, err := boot(model, kernel.Config{KASLR: true}, seed)
-		if err != nil {
-			return nil, err
-		}
-		k.WriteSecret(secret)
-		md, err := core.NewTETMeltdown(k)
-		if err != nil {
-			return nil, err
-		}
-		md.Batches = pt.batches
-		md.MedianDecode = pt.mean
-		res, err := md.Leak(k.SecretVA(), len(secret))
-		if err != nil {
-			return nil, err
-		}
-		decoder := "vote"
-		if pt.mean {
-			decoder = "median"
-		}
-		er := stats.ByteErrorRate(res.Data, secret)
-		out = append(out, NoisePoint{
-			Sigma:     pt.sigma,
-			Batches:   pt.batches,
-			Decoder:   decoder,
-			ErrRate:   er,
-			Recovered: er <= successThreshold,
-		})
 	}
-	return out, nil
+	jobs := make([]sched.Job[NoisePoint], len(points))
+	for i, pt := range points {
+		pt := pt
+		jobs[i] = sched.Job[NoisePoint]{
+			Key: fmt.Sprintf("sigma/%.1f/batches/%d", pt.sigma, pt.batches),
+			Run: func(context.Context, int64) (NoisePoint, error) {
+				return noisePoint(pt.sigma, pt.batches, pt.mean, seed)
+			},
+		}
+	}
+	return sched.Map(ex.ctx(), ex.opts("noise", seed), jobs)
+}
+
+// noisePoint measures one (sigma, batches, decoder) operating point on a
+// fresh machine.
+func noisePoint(sigma float64, batches int, mean bool, seed int64) (NoisePoint, error) {
+	secret := []byte("NZ")
+	model := cpu.I7_7700()
+	model.Pipe.NoiseSigma = sigma
+	k, err := boot(model, kernel.Config{KASLR: true}, seed)
+	if err != nil {
+		return NoisePoint{}, err
+	}
+	k.WriteSecret(secret)
+	md, err := core.NewTETMeltdown(k)
+	if err != nil {
+		return NoisePoint{}, err
+	}
+	md.Batches = batches
+	md.MedianDecode = mean
+	res, err := md.Leak(k.SecretVA(), len(secret))
+	if err != nil {
+		return NoisePoint{}, err
+	}
+	decoder := "vote"
+	if mean {
+		decoder = "median"
+	}
+	er := stats.ByteErrorRate(res.Data, secret)
+	return NoisePoint{
+		Sigma:     sigma,
+		Batches:   batches,
+		Decoder:   decoder,
+		ErrRate:   er,
+		Recovered: er <= successThreshold,
+	}, nil
 }
 
 // RenderNoiseSweep formats the sweep.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 
 	"whisper/internal/obs"
+	"whisper/internal/sched"
 )
 
 // Report bundles every experiment's results for machine-readable output
@@ -33,9 +35,17 @@ type ReportParams struct {
 	KASLRReps       int
 	Fig1bBatches    int
 
-	// Obs, when non-nil, records one wall-time span per experiment stage
-	// (the machines booted inside each stage keep their own registries, so
-	// stage spans land on the wall-clock track of the exported trace).
+	// Parallel is the sched worker count used for the artefact pool and
+	// threaded into every sweep's cell pool; <= 0 means GOMAXPROCS. The
+	// report is byte-identical at every setting.
+	Parallel int
+	// Ctx cancels the run early; nil means Background.
+	Ctx context.Context
+
+	// Obs, when non-nil, receives one wall-time span per experiment stage
+	// plus the scheduler's pool metrics (the machines booted inside each
+	// stage keep their own registries, so stage spans land on the wall-clock
+	// track of the exported trace).
 	Obs *obs.Registry
 }
 
@@ -49,85 +59,102 @@ func DefaultReportParams() ReportParams {
 	}
 }
 
-// RunAll executes every experiment and returns the bundle.
+// Exec resolves the execution knobs shared by every stage.
+func (p ReportParams) Exec() Exec {
+	return Exec{Ctx: p.Ctx, Parallel: p.Parallel, Obs: p.Obs}
+}
+
+// RunAll executes every experiment and returns the bundle. The independent
+// artefacts are themselves scheduler jobs (pool "experiments"), each writing
+// a distinct Report field, so whole stages overlap in addition to the
+// per-cell parallelism inside each sweep; results are applied in stage order
+// and the report is byte-identical at any ReportParams.Parallel.
 func RunAll(p ReportParams) (*Report, error) {
+	ex := p.Exec()
 	r := &Report{Seed: p.Seed}
-	stage := func(name string, f func() error) error {
-		sp := p.Obs.StartWallSpan(name)
-		err := f()
-		if err != nil {
-			sp.Attr("error", err.Error())
-		}
-		sp.End(0)
-		return err
+	type apply = func(*Report)
+	jobs := []sched.Job[apply]{
+		{Key: "table2", Run: func(context.Context, int64) (apply, error) {
+			rows, err := Table2(ex, DefaultTable2Params(), p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			agrees, devs := Table2Agrees(rows)
+			return func(r *Report) {
+				r.Table2, r.Table2Agrees, r.Table2Deviations = rows, agrees, devs
+			}, nil
+		}},
+		{Key: "table3", Run: func(context.Context, int64) (apply, error) {
+			scenes, err := Table3(ex, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.Table3 = scenes }, nil
+		}},
+		{Key: "fig1b", Run: func(context.Context, int64) (apply, error) {
+			res, err := Fig1b(ex, p.Fig1bBatches, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.Fig1b = res }, nil
+		}},
+		{Key: "fig4", Run: func(context.Context, int64) (apply, error) {
+			pts, err := Fig4(ex, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.Fig4 = pts }, nil
+		}},
+		{Key: "throughput", Run: func(context.Context, int64) (apply, error) {
+			rows, err := Throughput(ex, p.ThroughputBytes, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.Throughput = rows }, nil
+		}},
+		{Key: "kaslr", Run: func(context.Context, int64) (apply, error) {
+			rows, err := KASLRSuite(ex, p.KASLRReps, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.KASLR = rows }, nil
+		}},
+		{Key: "mitigations", Run: func(context.Context, int64) (apply, error) {
+			rows, err := Mitigations(ex, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			agrees, _ := MitigationsAgree(rows)
+			return func(r *Report) { r.Mitigations, r.MitigationsAgree = rows, agrees }, nil
+		}},
+		{Key: "stealth", Run: func(context.Context, int64) (apply, error) {
+			rows, err := Stealth(ex, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.Stealth = rows }, nil
+		}},
+		{Key: "condfamily", Run: func(context.Context, int64) (apply, error) {
+			rows, err := CondFamily(ex, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.CondFamily = rows }, nil
+		}},
+		{Key: "noise", Run: func(context.Context, int64) (apply, error) {
+			pts, err := NoiseSweep(ex, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(r *Report) { r.NoiseSweep = pts }, nil
+		}},
 	}
-	var err error
-	if err = stage("experiments.table2", func() error {
-		if r.Table2, err = Table2(DefaultTable2Params(), p.Seed); err != nil {
-			return err
-		}
-		r.Table2Agrees, r.Table2Deviations = Table2Agrees(r.Table2)
-		return nil
-	}); err != nil {
+	applies, err := sched.Map(ex.ctx(), ex.opts("experiments", p.Seed), jobs)
+	if err != nil {
 		return nil, err
 	}
-	if err = stage("experiments.table3", func() (err error) {
-		r.Table3, err = Table3(p.Seed)
-		return
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.fig1b", func() (err error) {
-		r.Fig1b, err = Fig1b(p.Fig1bBatches, p.Seed)
-		return
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.fig4", func() (err error) {
-		r.Fig4, err = Fig4(p.Seed)
-		return
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.throughput", func() (err error) {
-		r.Throughput, err = Throughput(p.ThroughputBytes, p.Seed)
-		return
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.kaslr", func() (err error) {
-		r.KASLR, err = KASLRSuite(p.KASLRReps, p.Seed)
-		return
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.mitigations", func() error {
-		var err error
-		if r.Mitigations, err = Mitigations(p.Seed); err != nil {
-			return err
-		}
-		r.MitigationsAgree, _ = MitigationsAgree(r.Mitigations)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.stealth", func() (err error) {
-		r.Stealth, err = Stealth(p.Seed)
-		return
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.condfamily", func() (err error) {
-		r.CondFamily, err = CondFamily(p.Seed)
-		return
-	}); err != nil {
-		return nil, err
-	}
-	if err = stage("experiments.noise", func() (err error) {
-		r.NoiseSweep, err = NoiseSweep(p.Seed)
-		return
-	}); err != nil {
-		return nil, err
+	for _, f := range applies {
+		f(r)
 	}
 	return r, nil
 }

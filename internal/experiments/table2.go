@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"whisper/internal/core"
 	"whisper/internal/cpu"
 	"whisper/internal/kernel"
+	"whisper/internal/sched"
 	"whisper/internal/stats"
 )
 
@@ -44,108 +46,125 @@ func DefaultTable2Params() Table2Params {
 // Working attacks measure ≤ a few percent; broken ones sit near 100 %.
 const successThreshold = 0.25
 
-// Table2 runs every attack on every Table 2 model.
-func Table2(params Table2Params, seed int64) ([]Table2Row, error) {
-	secret := []byte("Whisper: timing the transient execution!")
-	rows := make([]Table2Row, 0, 5)
-	for _, model := range cpu.AllModels() {
-		row := Table2Row{Model: model}
-
-		// Fresh machine per attack family so one attack's microarchitectural
-		// residue cannot help another.
-		{
-			k, err := boot(model, kernel.Config{KASLR: true}, seed)
-			if err != nil {
-				return nil, err
-			}
-			cc, err := core.NewTETCovertChannel(k)
-			if err != nil {
-				return nil, err
-			}
-			payload := secret[:params.CCBytes]
-			res, err := cc.Transfer(payload)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s CC: %w", model.Name, err)
-			}
-			row.ErrCC = stats.ByteErrorRate(res.Data, payload)
-			row.CC = row.ErrCC <= successThreshold
+// Table2 runs every attack on every Table 2 model. Each model is one
+// scheduler cell: the five machines a row boots are independent of every
+// other row's, so rows run concurrently and collect in model order.
+func Table2(ex Exec, params Table2Params, seed int64) ([]Table2Row, error) {
+	models := cpu.AllModels()
+	jobs := make([]sched.Job[Table2Row], len(models))
+	for i, model := range models {
+		model := model
+		jobs[i] = sched.Job[Table2Row]{
+			Key: model.Name,
+			Run: func(context.Context, int64) (Table2Row, error) {
+				return table2Row(model, params, seed)
+			},
 		}
-		{
-			k, err := boot(model, kernel.Config{KASLR: true}, seed+1)
-			if err != nil {
-				return nil, err
-			}
-			k.WriteSecret(secret)
-			md, err := NewQuickMD(k)
-			if err != nil {
-				return nil, err
-			}
-			res, err := md.Leak(k.SecretVA(), params.MDBytes)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s MD: %w", model.Name, err)
-			}
-			row.ErrMD = stats.ByteErrorRate(res.Data, secret[:params.MDBytes])
-			row.MD = row.ErrMD <= successThreshold
-		}
-		{
-			k, err := boot(model, kernel.Config{KASLR: true}, seed+2)
-			if err != nil {
-				return nil, err
-			}
-			k.WriteSecret(secret)
-			z, err := core.NewTETZombieload(k)
-			if err != nil {
-				return nil, err
-			}
-			z.Batches = 3
-			res, err := z.Leak(params.ZBLBytes)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s ZBL: %w", model.Name, err)
-			}
-			row.ErrZBL = stats.ByteErrorRate(res.Data, secret[:params.ZBLBytes])
-			row.ZBL = row.ErrZBL <= successThreshold
-		}
-		{
-			k, err := boot(model, kernel.Config{KASLR: true}, seed+3)
-			if err != nil {
-				return nil, err
-			}
-			m := k.Machine()
-			secretVA := uint64(kernel.UserDataBase + 0x300)
-			pa, _ := k.UserAS().Translate(secretVA)
-			m.Phys.StoreBytes(pa, secret)
-			rsb, err := core.NewTETRSB(k)
-			if err != nil {
-				return nil, err
-			}
-			rsb.Batches = 2
-			res, err := rsb.Leak(secretVA, params.RSBBytes)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s RSB: %w", model.Name, err)
-			}
-			row.ErrRSB = stats.ByteErrorRate(res.Data, secret[:params.RSBBytes])
-			row.RSB = row.ErrRSB <= successThreshold
-		}
-		{
-			k, err := boot(model, kernel.Config{KASLR: true}, seed+4)
-			if err != nil {
-				return nil, err
-			}
-			ka, err := core.NewTETKASLR(k)
-			if err != nil {
-				return nil, err
-			}
-			ka.Reps = params.KASLRReps
-			res, err := ka.Locate()
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s KASLR: %w", model.Name, err)
-			}
-			row.KASLR = res.Slot == k.BaseSlot()
-			row.Seconds = res.Seconds
-		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return sched.Map(ex.ctx(), ex.opts("table2", seed), jobs)
+}
+
+// table2Row runs the five attack families on one model. The per-attack seed
+// offsets (seed..seed+4) predate the scheduler and are kept verbatim so a
+// sweep's output matches the original serial implementation byte for byte.
+func table2Row(model cpu.Model, params Table2Params, seed int64) (Table2Row, error) {
+	secret := []byte("Whisper: timing the transient execution!")
+	row := Table2Row{Model: model}
+	fail := func(err error) (Table2Row, error) { return Table2Row{}, err }
+
+	// Fresh machine per attack family so one attack's microarchitectural
+	// residue cannot help another.
+	{
+		k, err := boot(model, kernel.Config{KASLR: true}, seed)
+		if err != nil {
+			return fail(err)
+		}
+		cc, err := core.NewTETCovertChannel(k)
+		if err != nil {
+			return fail(err)
+		}
+		payload := secret[:params.CCBytes]
+		res, err := cc.Transfer(payload)
+		if err != nil {
+			return fail(fmt.Errorf("table2 %s CC: %w", model.Name, err))
+		}
+		row.ErrCC = stats.ByteErrorRate(res.Data, payload)
+		row.CC = row.ErrCC <= successThreshold
+	}
+	{
+		k, err := boot(model, kernel.Config{KASLR: true}, seed+1)
+		if err != nil {
+			return fail(err)
+		}
+		k.WriteSecret(secret)
+		md, err := NewQuickMD(k)
+		if err != nil {
+			return fail(err)
+		}
+		res, err := md.Leak(k.SecretVA(), params.MDBytes)
+		if err != nil {
+			return fail(fmt.Errorf("table2 %s MD: %w", model.Name, err))
+		}
+		row.ErrMD = stats.ByteErrorRate(res.Data, secret[:params.MDBytes])
+		row.MD = row.ErrMD <= successThreshold
+	}
+	{
+		k, err := boot(model, kernel.Config{KASLR: true}, seed+2)
+		if err != nil {
+			return fail(err)
+		}
+		k.WriteSecret(secret)
+		z, err := core.NewTETZombieload(k)
+		if err != nil {
+			return fail(err)
+		}
+		z.Batches = 3
+		res, err := z.Leak(params.ZBLBytes)
+		if err != nil {
+			return fail(fmt.Errorf("table2 %s ZBL: %w", model.Name, err))
+		}
+		row.ErrZBL = stats.ByteErrorRate(res.Data, secret[:params.ZBLBytes])
+		row.ZBL = row.ErrZBL <= successThreshold
+	}
+	{
+		k, err := boot(model, kernel.Config{KASLR: true}, seed+3)
+		if err != nil {
+			return fail(err)
+		}
+		m := k.Machine()
+		secretVA := uint64(kernel.UserDataBase + 0x300)
+		pa, _ := k.UserAS().Translate(secretVA)
+		m.Phys.StoreBytes(pa, secret)
+		rsb, err := core.NewTETRSB(k)
+		if err != nil {
+			return fail(err)
+		}
+		rsb.Batches = 2
+		res, err := rsb.Leak(secretVA, params.RSBBytes)
+		if err != nil {
+			return fail(fmt.Errorf("table2 %s RSB: %w", model.Name, err))
+		}
+		row.ErrRSB = stats.ByteErrorRate(res.Data, secret[:params.RSBBytes])
+		row.RSB = row.ErrRSB <= successThreshold
+	}
+	{
+		k, err := boot(model, kernel.Config{KASLR: true}, seed+4)
+		if err != nil {
+			return fail(err)
+		}
+		ka, err := core.NewTETKASLR(k)
+		if err != nil {
+			return fail(err)
+		}
+		ka.Reps = params.KASLRReps
+		res, err := ka.Locate()
+		if err != nil {
+			return fail(fmt.Errorf("table2 %s KASLR: %w", model.Name, err))
+		}
+		row.KASLR = res.Slot == k.BaseSlot()
+		row.Seconds = res.Seconds
+	}
+	return row, nil
 }
 
 // NewQuickMD builds a TET-Meltdown with bench-friendly batch count.

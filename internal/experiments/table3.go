@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"whisper/internal/cpu"
 	"whisper/internal/kernel"
 	"whisper/internal/pmu"
+	"whisper/internal/sched"
 )
 
 // Table3Scene is one (CPU, workload) block of the paper's Table 3: the same
@@ -75,60 +77,47 @@ func evaluateKeys(keys []KeyEvent, a, b []pmu.Run) []KeyEvent {
 	return out
 }
 
-// Table3 runs all four Table 3 scenes and the KASLR DTLB scene.
-func Table3(seed int64) ([]Table3Scene, error) {
-	var scenes []Table3Scene
-
-	// Scene: TET-CC on i7-6700 (branch/stall events).
-	s, err := sceneCC(cpu.I7_6700(), seed, []KeyEvent{
-		{Event: "BR_MISP_EXEC.INDIRECT", PaperA: 0, PaperB: 1, WantDir: 1},
-		{Event: "BR_MISP_EXEC.ALL_BRANCHES", PaperA: 0, PaperB: 2, WantDir: 1},
-		{Event: "RESOURCE_STALLS.ANY", PaperA: 15, PaperB: 21, WantDir: 1},
-	})
-	if err != nil {
-		return nil, err
+// Table3 runs all four Table 3 scenes and the KASLR DTLB scene. Each scene
+// boots its own machine, so the five scenes are independent scheduler cells;
+// the per-scene seed offsets (seed..seed+4) are the original serial sweep's.
+func Table3(ex Exec, seed int64) ([]Table3Scene, error) {
+	jobs := []sched.Job[Table3Scene]{
+		// Scene: TET-CC on i7-6700 (branch/stall events).
+		{Key: "cc-i7-6700", Run: func(context.Context, int64) (Table3Scene, error) {
+			return sceneCC(cpu.I7_6700(), seed, []KeyEvent{
+				{Event: "BR_MISP_EXEC.INDIRECT", PaperA: 0, PaperB: 1, WantDir: 1},
+				{Event: "BR_MISP_EXEC.ALL_BRANCHES", PaperA: 0, PaperB: 2, WantDir: 1},
+				{Event: "RESOURCE_STALLS.ANY", PaperA: 15, PaperB: 21, WantDir: 1},
+			})
+		}},
+		// Scene: TET-CC on i7-7700 (frontend DSB/MITE shift — also Fig. 3).
+		{Key: "cc-i7-7700", Run: func(context.Context, int64) (Table3Scene, error) {
+			return sceneCC(cpu.I7_7700(), seed+1, []KeyEvent{
+				{Event: "IDQ.DSB_UOPS", PaperA: 119, PaperB: 115, WantDir: -1},
+				{Event: "IDQ.MS_MITE_UOPS", PaperA: 77, PaperB: 97, WantDir: 1},
+				{Event: "IDQ.ALL_MITE_CYCLES_ANY_UOPS", PaperA: 35, PaperB: 45, WantDir: 1},
+				{Event: "UOPS_EXECUTED.CORE_CYCLES_NONE", PaperA: 110, PaperB: 116, WantDir: 1},
+			})
+		}},
+		// Scene: TET-MD on i7-7700 (backend stalls and recovery).
+		{Key: "md-i7-7700", Run: func(context.Context, int64) (Table3Scene, error) {
+			return sceneMD(seed + 2)
+		}},
+		// Scene: TET-CC on Ryzen 5 5600G (AMD events).
+		{Key: "cc-ryzen-5600g", Run: func(context.Context, int64) (Table3Scene, error) {
+			return sceneCC(cpu.Ryzen5600G(), seed+3, []KeyEvent{
+				{Event: "de_dis_dispatch_token_stalls2.retire_token_stall", PaperA: 4, PaperB: 84, WantDir: 1},
+				{Event: "de_dis_uop_queue_empty_di0", PaperA: 182, PaperB: 195, WantDir: 1},
+				{Event: "ic_fw32", PaperA: 661, PaperB: 690, WantDir: 1},
+			})
+		}},
+		// Scene: TET-KASLR on i9-10980XE (memory-subsystem events,
+		// unmapped vs mapped).
+		{Key: "kaslr-i9-10980xe", Run: func(context.Context, int64) (Table3Scene, error) {
+			return sceneKASLR(seed + 4)
+		}},
 	}
-	scenes = append(scenes, s)
-
-	// Scene: TET-CC on i7-7700 (frontend DSB/MITE shift — also Fig. 3).
-	s, err = sceneCC(cpu.I7_7700(), seed+1, []KeyEvent{
-		{Event: "IDQ.DSB_UOPS", PaperA: 119, PaperB: 115, WantDir: -1},
-		{Event: "IDQ.MS_MITE_UOPS", PaperA: 77, PaperB: 97, WantDir: 1},
-		{Event: "IDQ.ALL_MITE_CYCLES_ANY_UOPS", PaperA: 35, PaperB: 45, WantDir: 1},
-		{Event: "UOPS_EXECUTED.CORE_CYCLES_NONE", PaperA: 110, PaperB: 116, WantDir: 1},
-	})
-	if err != nil {
-		return nil, err
-	}
-	scenes = append(scenes, s)
-
-	// Scene: TET-MD on i7-7700 (backend stalls and recovery).
-	s, err = sceneMD(seed + 2)
-	if err != nil {
-		return nil, err
-	}
-	scenes = append(scenes, s)
-
-	// Scene: TET-CC on Ryzen 5 5600G (AMD events).
-	s, err = sceneCC(cpu.Ryzen5600G(), seed+3, []KeyEvent{
-		{Event: "de_dis_dispatch_token_stalls2.retire_token_stall", PaperA: 4, PaperB: 84, WantDir: 1},
-		{Event: "de_dis_uop_queue_empty_di0", PaperA: 182, PaperB: 195, WantDir: 1},
-		{Event: "ic_fw32", PaperA: 661, PaperB: 690, WantDir: 1},
-	})
-	if err != nil {
-		return nil, err
-	}
-	scenes = append(scenes, s)
-
-	// Scene: TET-KASLR on i9-10980XE (memory-subsystem events,
-	// unmapped vs mapped).
-	s, err = sceneKASLR(seed + 4)
-	if err != nil {
-		return nil, err
-	}
-	scenes = append(scenes, s)
-
-	return scenes, nil
+	return sched.Map(ex.ctx(), ex.opts("table3", seed), jobs)
 }
 
 // sceneCC measures the covert-channel probe with the transient Jcc not

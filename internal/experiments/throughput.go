@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"whisper/internal/core"
 	"whisper/internal/cpu"
 	"whisper/internal/kernel"
+	"whisper/internal/sched"
 	"whisper/internal/smt"
 	"whisper/internal/stats"
 )
@@ -38,182 +40,182 @@ func randomPayload(n int, seed byte) []byte {
 	return out
 }
 
+func byteRow(name, cpuName string, payload, got []byte, res core.LeakResult, paperBps, paperErr float64) ThroughputRow {
+	return ThroughputRow{
+		Name:     name,
+		CPU:      cpuName,
+		Bytes:    len(payload),
+		Bps:      res.Bps,
+		ErrRate:  stats.ByteErrorRate(got, payload),
+		ErrKind:  "byte",
+		PaperBps: paperBps,
+		PaperErr: paperErr,
+	}
+}
+
+func bitRow(name, cpuName string, payload, got []byte, res core.LeakResult, paperBps, paperErr float64) ThroughputRow {
+	return ThroughputRow{
+		Name:     name,
+		CPU:      cpuName,
+		Bytes:    len(payload),
+		Bps:      res.Bps,
+		ErrRate:  stats.BitErrorRate(got, payload),
+		ErrKind:  "bit",
+		PaperBps: paperBps,
+		PaperErr: paperErr,
+	}
+}
+
 // Throughput measures every §4.1/§4.4 channel plus the cache-channel
-// baselines. bytes sizes the payload (the paper uses 1024).
-func Throughput(bytes int, seed int64) ([]ThroughputRow, error) {
-	var rows []ThroughputRow
-	add := func(name, cpuName string, payload, got []byte, res core.LeakResult, paperBps, paperErr float64) {
-		rows = append(rows, ThroughputRow{
-			Name:     name,
-			CPU:      cpuName,
-			Bytes:    len(payload),
-			Bps:      res.Bps,
-			ErrRate:  stats.ByteErrorRate(got, payload),
-			ErrKind:  "byte",
-			PaperBps: paperBps,
-			PaperErr: paperErr,
-		})
+// baselines. bytes sizes the payload (the paper uses 1024). Each channel
+// boots its own machine with the original serial sweep's per-channel seed
+// offset (seed..seed+7), so the eight trials are independent scheduler cells
+// and the table reads identically at any Exec.Parallel.
+func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
+	jobs := []sched.Job[ThroughputRow]{
+		// TET-CC on i7-7700 (paper: 500 B/s, <5 % error).
+		{Key: "tet-cc", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			cc, err := core.NewTETCovertChannel(k)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			payload := randomPayload(bytes, 1)
+			res, err := cc.Transfer(payload)
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput CC: %w", err)
+			}
+			return byteRow("TET-CC", k.Machine().Model.Name, payload, res.Data, res, 500, 0.05), nil
+		}},
+		// TET-MD on i7-7700 (paper: 50 B/s, <3 % error).
+		{Key: "tet-md", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+1)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			payload := randomPayload(bytes, 2)
+			k.WriteSecret(payload)
+			md, err := core.NewTETMeltdown(k)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			res, err := md.Leak(k.SecretVA(), len(payload))
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput MD: %w", err)
+			}
+			return byteRow("TET-MD", k.Machine().Model.Name, payload, res.Data, res, 50, 0.03), nil
+		}},
+		// TET-ZBL on i7-7700 (paper reports success but no rate).
+		{Key: "tet-zbl", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+2)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			payload := randomPayload(bytes, 3)
+			k.WriteSecret(payload)
+			z, err := core.NewTETZombieload(k)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			res, err := z.Leak(len(payload))
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput ZBL: %w", err)
+			}
+			return byteRow("TET-ZBL", k.Machine().Model.Name, payload, res.Data, res, 0, 0), nil
+		}},
+		// TET-RSB on i9-13900K (paper: 21.5 KB/s, <0.1 % error).
+		{Key: "tet-rsb", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I9_13900K(), kernel.Config{KASLR: true}, seed+3)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			m := k.Machine()
+			payload := randomPayload(bytes, 4)
+			secretVA := uint64(kernel.UserDataBase + 0x400)
+			pa, _ := k.UserAS().Translate(secretVA)
+			m.Phys.StoreBytes(pa, payload)
+			rsb, err := core.NewTETRSB(k)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			res, err := rsb.Leak(secretVA, len(payload))
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput RSB: %w", err)
+			}
+			return byteRow("TET-RSB", m.Model.Name, payload, res.Data, res, 21500, 0.001), nil
+		}},
+		// SMT channel, both operating points, on i7-7700.
+		{Key: "smt-reliable", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+4)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			ch, err := smt.NewChannel(k, smt.ModeReliable)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			payload := randomPayload(minInt(bytes, 4), 5) // second-scale windows
+			res, err := ch.Transfer(payload)
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput SMT: %w", err)
+			}
+			return bitRow("SMT-CC (reliable)", k.Machine().Model.Name, payload, res.Data, res, 1, 0.05), nil
+		}},
+		{Key: "smt-secsmt", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+5)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			ch, err := smt.NewChannel(k, smt.ModeSecSMT)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			payload := randomPayload(bytes, 6)
+			res, err := ch.Transfer(payload)
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput SecSMT: %w", err)
+			}
+			return bitRow("SMT-CC (SecSMT eval)", k.Machine().Model.Name, payload, res.Data, res, 268_000, 0.28), nil
+		}},
+		// Baselines for comparison.
+		{Key: "baseline-fr", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+6)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			fr, err := baseline.NewFlushReload(k)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			payload := randomPayload(bytes, 7)
+			res, err := fr.Transfer(payload)
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput F+R: %w", err)
+			}
+			return byteRow("Flush+Reload CC (baseline)", k.Machine().Model.Name, payload, res.Data, res, 0, 0), nil
+		}},
+		{Key: "baseline-md-fr", Run: func(context.Context, int64) (ThroughputRow, error) {
+			k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+7)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			payload := randomPayload(bytes, 8)
+			k.WriteSecret(payload)
+			md, err := baseline.NewMeltdownFR(k)
+			if err != nil {
+				return ThroughputRow{}, err
+			}
+			res, err := md.Leak(k.SecretVA(), len(payload))
+			if err != nil {
+				return ThroughputRow{}, fmt.Errorf("throughput MD-F+R: %w", err)
+			}
+			return byteRow("Meltdown-F+R (baseline)", k.Machine().Model.Name, payload, res.Data, res, 0, 0), nil
+		}},
 	}
-	addBits := func(name, cpuName string, payload, got []byte, res core.LeakResult, paperBps, paperErr float64) {
-		rows = append(rows, ThroughputRow{
-			Name:     name,
-			CPU:      cpuName,
-			Bytes:    len(payload),
-			Bps:      res.Bps,
-			ErrRate:  stats.BitErrorRate(got, payload),
-			ErrKind:  "bit",
-			PaperBps: paperBps,
-			PaperErr: paperErr,
-		})
-	}
-
-	// TET-CC on i7-7700 (paper: 500 B/s, <5 % error).
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
-		if err != nil {
-			return nil, err
-		}
-		cc, err := core.NewTETCovertChannel(k)
-		if err != nil {
-			return nil, err
-		}
-		payload := randomPayload(bytes, 1)
-		res, err := cc.Transfer(payload)
-		if err != nil {
-			return nil, fmt.Errorf("throughput CC: %w", err)
-		}
-		add("TET-CC", k.Machine().Model.Name, payload, res.Data, res, 500, 0.05)
-	}
-
-	// TET-MD on i7-7700 (paper: 50 B/s, <3 % error).
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+1)
-		if err != nil {
-			return nil, err
-		}
-		payload := randomPayload(bytes, 2)
-		k.WriteSecret(payload)
-		md, err := core.NewTETMeltdown(k)
-		if err != nil {
-			return nil, err
-		}
-		res, err := md.Leak(k.SecretVA(), len(payload))
-		if err != nil {
-			return nil, fmt.Errorf("throughput MD: %w", err)
-		}
-		add("TET-MD", k.Machine().Model.Name, payload, res.Data, res, 50, 0.03)
-	}
-
-	// TET-ZBL on i7-7700 (paper reports success but no rate).
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+2)
-		if err != nil {
-			return nil, err
-		}
-		payload := randomPayload(bytes, 3)
-		k.WriteSecret(payload)
-		z, err := core.NewTETZombieload(k)
-		if err != nil {
-			return nil, err
-		}
-		res, err := z.Leak(len(payload))
-		if err != nil {
-			return nil, fmt.Errorf("throughput ZBL: %w", err)
-		}
-		add("TET-ZBL", k.Machine().Model.Name, payload, res.Data, res, 0, 0)
-	}
-
-	// TET-RSB on i9-13900K (paper: 21.5 KB/s, <0.1 % error).
-	{
-		k, err := boot(cpu.I9_13900K(), kernel.Config{KASLR: true}, seed+3)
-		if err != nil {
-			return nil, err
-		}
-		m := k.Machine()
-		payload := randomPayload(bytes, 4)
-		secretVA := uint64(kernel.UserDataBase + 0x400)
-		pa, _ := k.UserAS().Translate(secretVA)
-		m.Phys.StoreBytes(pa, payload)
-		rsb, err := core.NewTETRSB(k)
-		if err != nil {
-			return nil, err
-		}
-		res, err := rsb.Leak(secretVA, len(payload))
-		if err != nil {
-			return nil, fmt.Errorf("throughput RSB: %w", err)
-		}
-		add("TET-RSB", m.Model.Name, payload, res.Data, res, 21500, 0.001)
-	}
-
-	// SMT channel, both operating points, on i7-7700.
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+4)
-		if err != nil {
-			return nil, err
-		}
-		ch, err := smt.NewChannel(k, smt.ModeReliable)
-		if err != nil {
-			return nil, err
-		}
-		payload := randomPayload(minInt(bytes, 4), 5) // second-scale windows
-		res, err := ch.Transfer(payload)
-		if err != nil {
-			return nil, fmt.Errorf("throughput SMT: %w", err)
-		}
-		addBits("SMT-CC (reliable)", k.Machine().Model.Name, payload, res.Data, res, 1, 0.05)
-	}
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+5)
-		if err != nil {
-			return nil, err
-		}
-		ch, err := smt.NewChannel(k, smt.ModeSecSMT)
-		if err != nil {
-			return nil, err
-		}
-		payload := randomPayload(bytes, 6)
-		res, err := ch.Transfer(payload)
-		if err != nil {
-			return nil, fmt.Errorf("throughput SecSMT: %w", err)
-		}
-		addBits("SMT-CC (SecSMT eval)", k.Machine().Model.Name, payload, res.Data, res, 268_000, 0.28)
-	}
-
-	// Baselines for comparison.
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+6)
-		if err != nil {
-			return nil, err
-		}
-		fr, err := baseline.NewFlushReload(k)
-		if err != nil {
-			return nil, err
-		}
-		payload := randomPayload(bytes, 7)
-		res, err := fr.Transfer(payload)
-		if err != nil {
-			return nil, fmt.Errorf("throughput F+R: %w", err)
-		}
-		add("Flush+Reload CC (baseline)", k.Machine().Model.Name, payload, res.Data, res, 0, 0)
-	}
-	{
-		k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed+7)
-		if err != nil {
-			return nil, err
-		}
-		payload := randomPayload(bytes, 8)
-		k.WriteSecret(payload)
-		md, err := baseline.NewMeltdownFR(k)
-		if err != nil {
-			return nil, err
-		}
-		res, err := md.Leak(k.SecretVA(), len(payload))
-		if err != nil {
-			return nil, fmt.Errorf("throughput MD-F+R: %w", err)
-		}
-		add("Meltdown-F+R (baseline)", k.Machine().Model.Name, payload, res.Data, res, 0, 0)
-	}
-	return rows, nil
+	return sched.Map(ex.ctx(), ex.opts("throughput", seed), jobs)
 }
 
 func minInt(a, b int) int {

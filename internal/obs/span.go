@@ -31,6 +31,10 @@ type Span struct {
 	// span several machines, e.g. experiments.RunAll stages); the exporter
 	// places them on the wall-clock track.
 	wallOnly bool
+	// detached marks spans that never joined the nesting stack: concurrent
+	// phases (scheduler jobs) whose lifetimes overlap arbitrarily, where
+	// stack-based nesting would force-close unrelated siblings.
+	detached bool
 	ended    bool
 
 	Attrs []Attr
@@ -46,6 +50,31 @@ func (r *Registry) StartSpan(name string, cycle uint64) *Span {
 // cycle domain, such as one experiments.RunAll stage.
 func (r *Registry) StartWallSpan(name string) *Span {
 	return r.startSpan(name, 0, true)
+}
+
+// StartDetachedWallSpan opens a wall-time-only span that does not join the
+// registry's nesting stack. Concurrent phases — one scheduler job per worker
+// goroutine — need this: stacked spans assume LIFO lifetimes, and ending one
+// overlapping sibling would force-close the others. Detached spans always
+// have no parent and close independently.
+func (r *Registry) StartDetachedWallSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sp := &Span{
+		r:         r,
+		ID:        r.nextSpanID,
+		Parent:    -1,
+		Name:      name,
+		StartWall: time.Now(),
+		wallOnly:  true,
+		detached:  true,
+	}
+	r.nextSpanID++
+	r.spans = append(r.spans, sp)
+	return sp
 }
 
 func (r *Registry) startSpan(name string, cycle uint64, wallOnly bool) *Span {
@@ -83,6 +112,12 @@ func (sp *Span) End(cycle uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if sp.ended {
+		return
+	}
+	if sp.detached {
+		sp.ended = true
+		sp.EndCycle = cycle
+		sp.EndWall = time.Now()
 		return
 	}
 	at := -1

@@ -1,0 +1,28 @@
+package sched
+
+// DeriveSeed maps (rootSeed, jobKey) to the RNG seed a job's simulation must
+// boot with. The derivation is a fixed arithmetic pipeline — FNV-1a over the
+// key bytes, the root seed folded in with the 64-bit golden ratio, then the
+// splitmix64 finalizer — so it is stable across Go versions, platforms and
+// worker schedules: a job's seed depends only on its identity, never on which
+// worker ran it or when. This is what makes parallel sweep output
+// byte-identical to serial output at any worker count.
+func DeriveSeed(rootSeed int64, jobKey string) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+		golden    = 0x9E3779B97F4A7C15
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(jobKey); i++ {
+		h ^= uint64(jobKey[i])
+		h *= fnvPrime
+	}
+	x := h ^ (uint64(rootSeed) * golden)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}

@@ -1,0 +1,89 @@
+package whisper_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"whisper/internal/experiments"
+)
+
+// benchRecord is the BENCH_ci.json schema the CI bench-regression job
+// archives per commit.
+type benchRecord struct {
+	GoVersion  string  `json:"go_version"`
+	NumCPU     int     `json:"num_cpu"`
+	Workers    int     `json:"workers"`
+	SerialNs   int64   `json:"serial_ns"`
+	ParallelNs int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// TestParallelSpeedupGuard is the CI bench-regression gate: a full RunAll on
+// four sched workers must beat the serial run. The threshold is deliberately
+// generous (1.05x, vs the ~2x a 4-core runner actually delivers) so the gate
+// only trips when the scheduler genuinely stops parallelising — not on
+// runner jitter. Enabled by CI_BENCH_GUARD=1; always writes BENCH_ci.json
+// for the artifact upload when enabled.
+func TestParallelSpeedupGuard(t *testing.T) {
+	if os.Getenv("CI_BENCH_GUARD") == "" {
+		t.Skip("set CI_BENCH_GUARD=1 to run the speedup gate")
+	}
+	const workers = 4
+	params := func(parallel int) experiments.ReportParams {
+		p := experiments.DefaultReportParams()
+		p.ThroughputBytes = 4
+		p.KASLRReps = 3
+		p.Fig1bBatches = 3
+		p.Parallel = parallel
+		return p
+	}
+	run := func(parallel int) time.Duration {
+		// Warm-up run eats one-time costs, then take the best of 3 to shed
+		// scheduler/GC noise on shared runners.
+		if _, err := experiments.RunAll(params(parallel)); err != nil {
+			t.Fatal(err)
+		}
+		best := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if _, err := experiments.RunAll(params(parallel)); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := run(1)
+	parallel := run(workers)
+	speedup := float64(serial) / float64(parallel)
+
+	rec := benchRecord{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
+		SerialNs:   serial.Nanoseconds(),
+		ParallelNs: parallel.Nanoseconds(),
+		Speedup:    speedup,
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_ci.json", append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("serial %v, parallel(%d) %v, speedup %.2fx", serial, workers, parallel, speedup)
+
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-core runner: speedup not expected")
+	}
+	if speedup < 1.05 {
+		t.Fatalf("parallel RunAll no faster than serial: %.2fx (serial %v, parallel %v) — scheduler regression",
+			speedup, serial, parallel)
+	}
+}
