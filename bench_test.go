@@ -34,9 +34,21 @@ func bootBench(b *testing.B, model cpu.Model, cfg kernel.Config, seed int64) *ke
 	return k
 }
 
+// rebootBench re-boots an existing machine in place — the machine-reuse path
+// the per-iteration benchmarks exercise (bit-identical to a fresh boot).
+func rebootBench(b *testing.B, m *cpu.Machine, cfg kernel.Config, seed int64) *kernel.Kernel {
+	b.Helper()
+	k, err := kernel.Reboot(m, cfg, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
 // BenchmarkFig1bToTE regenerates Figure 1b (E1): the per-test-value ToTE
 // sweep and argmax decode on the i7-7700.
 func BenchmarkFig1bToTE(b *testing.B) {
+	b.ReportAllocs()
 	hits := 0
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig1b(experiments.Serial(), 5, experiments.DefaultSeed+int64(i))
@@ -53,6 +65,7 @@ func BenchmarkFig1bToTE(b *testing.B) {
 // BenchmarkTable2Matrix regenerates Table 2 (E2): all five attacks across
 // all five CPU models, checked against the paper's ✓/✗ cells.
 func BenchmarkTable2Matrix(b *testing.B) {
+	b.ReportAllocs()
 	agree := 0
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table2(experiments.Serial(), experiments.DefaultTable2Params(), experiments.DefaultSeed+int64(i))
@@ -69,6 +82,7 @@ func BenchmarkTable2Matrix(b *testing.B) {
 // BenchmarkTable3PMU regenerates Table 3 (E3): the PMU toolset's paired
 // scenes and differential analysis.
 func BenchmarkTable3PMU(b *testing.B) {
+	b.ReportAllocs()
 	matches, total := 0, 0
 	for i := 0; i < b.N; i++ {
 		scenes, err := experiments.Table3(experiments.Serial(), experiments.DefaultSeed+int64(i))
@@ -97,6 +111,7 @@ func BenchmarkTETCCThroughput(b *testing.B) {
 	}
 	payload := []byte("whisper covert channel payload..")
 	var last core.LeakResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		last, err = cc.Transfer(payload)
@@ -119,6 +134,7 @@ func BenchmarkTETMDThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	var last core.LeakResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		last, err = md.Leak(k.SecretVA(), len(secret))
@@ -141,6 +157,7 @@ func BenchmarkTETZBLThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	var last core.LeakResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		last, err = z.Leak(len(secret))
@@ -169,6 +186,7 @@ func BenchmarkTETRSBThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	var last core.LeakResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		last, err = rsb.Leak(secretVA, len(secret))
@@ -199,6 +217,7 @@ func BenchmarkSMTChannel(b *testing.B) {
 				b.Fatal(err)
 			}
 			var last core.LeakResult
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				last, err = ch.Transfer(bc.data)
@@ -216,10 +235,14 @@ func BenchmarkSMTChannel(b *testing.B) {
 // accuracy (E7).
 func benchKASLR(b *testing.B, model cpu.Model, cfg kernel.Config) {
 	b.Helper()
+	m, err := cpu.NewMachine(model, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
 	found := 0
 	var seconds float64
 	for i := 0; i < b.N; i++ {
-		k := bootBench(b, model, cfg, 6+int64(i))
+		k := rebootBench(b, m, cfg, 6+int64(i))
 		a, err := core.NewTETKASLR(k)
 		if err != nil {
 			b.Fatal(err)
@@ -263,9 +286,13 @@ func BenchmarkTETKASLRDocker(b *testing.B) {
 // BenchmarkFGKASLRMitigation is the §6.2 ablation (E13): the base is found
 // but function derivation must break.
 func BenchmarkFGKASLRMitigation(b *testing.B) {
+	m, err := cpu.NewMachine(cpu.I9_10980XE(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
 	mitigated := 0
 	for i := 0; i < b.N; i++ {
-		k := bootBench(b, cpu.I9_10980XE(), kernel.Config{KASLR: true, FGKASLR: true}, 7+int64(i))
+		k := rebootBench(b, m, kernel.Config{KASLR: true, FGKASLR: true}, 7+int64(i))
 		a, err := core.NewTETKASLR(k)
 		if err != nil {
 			b.Fatal(err)
@@ -292,8 +319,12 @@ func BenchmarkSecureTLBAblation(b *testing.B) {
 	model := cpu.I9_10980XE()
 	model.Pipe.TLBFillOnFault = false
 	defeated := 0
+	m, err := cpu.NewMachine(model, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		k := bootBench(b, model, kernel.Config{KASLR: true}, 8+int64(i))
+		k := rebootBench(b, m, kernel.Config{KASLR: true}, 8+int64(i))
 		a, err := core.NewTETKASLR(k)
 		if err != nil {
 			b.Fatal(err)
@@ -316,8 +347,12 @@ func BenchmarkAbortableAssistAblation(b *testing.B) {
 	model.Pipe.AbortableAssist = false
 	secret := []byte{0x5A}
 	broken := 0
+	m, err := cpu.NewMachine(model, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		k := bootBench(b, model, kernel.Config{KASLR: true}, 9+int64(i))
+		k := rebootBench(b, m, kernel.Config{KASLR: true}, 9+int64(i))
 		k.WriteSecret(secret)
 		z, err := core.NewTETZombieload(k)
 		if err != nil {
@@ -345,6 +380,7 @@ func BenchmarkBaselineFlushReload(b *testing.B) {
 	}
 	payload := []byte("flush+reload baseline...")
 	var last core.LeakResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		last, err = fr.Transfer(payload)
@@ -366,6 +402,7 @@ func BenchmarkBaselineMeltdownFR(b *testing.B) {
 		b.Fatal(err)
 	}
 	var last core.LeakResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		last, err = md.Leak(k.SecretVA(), len(secret))
@@ -452,6 +489,7 @@ func BenchmarkProbe(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pr.Probe(core.UnmappedVA, uint64(i%256), 0); err != nil {
@@ -574,6 +612,7 @@ func BenchmarkTETSpectreV1(b *testing.B) {
 	}
 	k.Machine().Phys.StoreBytes(pa, secret)
 	var last core.LeakResult
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		last, err = v1.Leak(v1.ArrayLen(), len(secret))
@@ -593,8 +632,12 @@ func BenchmarkRecoveryDebtAblation(b *testing.B) {
 	model.Pipe.DebtFactor = 0
 	secret := []byte{0x42}
 	broken := 0
+	m, err := cpu.NewMachine(model, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
-		k := bootBench(b, model, kernel.Config{KASLR: true}, 15+int64(i))
+		k := rebootBench(b, m, kernel.Config{KASLR: true}, 15+int64(i))
 		k.WriteSecret(secret)
 		md, err := core.NewTETMeltdown(k)
 		if err != nil {

@@ -1,0 +1,130 @@
+// Command benchdiff compares two `go test -bench` output files without
+// external dependencies. It parses the standard benchmark line format (the
+// same format benchstat consumes, so the inputs remain benchstat-compatible
+// artifacts), takes the median of repeated counts per benchmark, and prints
+// a markdown delta table per metric.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 5 . > new.txt
+//	benchdiff -base BENCH_baseline.txt -new new.txt [-metric ns/op] [-threshold 25]
+//
+// With -threshold N the tool exits non-zero when the selected metric's
+// median regresses by more than N percent on any benchmark both files
+// contain — the CI bench gate. Without it the comparison is informational
+// (the committed baseline usually comes from different hardware, so CI uses
+// the threshold only for same-machine comparisons).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is every recorded value for one (benchmark, unit) pair.
+type samples map[string]map[string][]float64
+
+// parseBench reads go-test benchmark lines: name, iteration count, then
+// value/unit pairs. Non-benchmark lines are ignored.
+func parseBench(path string) (samples, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := samples{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if _, ok := out[name]; !ok {
+			out[name] = map[string][]float64{}
+			order = append(order, name)
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			out[name][unit] = append(out[name][unit], v)
+		}
+	}
+	return out, order, sc.Err()
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	basePath := flag.String("base", "BENCH_baseline.txt", "baseline bench output")
+	newPath := flag.String("new", "bench.txt", "new bench output")
+	metric := flag.String("metric", "ns/op", "metric the -threshold gate applies to")
+	threshold := flag.Float64("threshold", 0, "fail when the gate metric regresses by more than this percent (0: report only)")
+	flag.Parse()
+
+	base, _, err := parseBench(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, order, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("| benchmark | metric | base | new | delta |\n")
+	fmt.Printf("|---|---|---:|---:|---:|\n")
+	failed := false
+	for _, name := range order {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(cur[name]))
+		for u := range cur[name] {
+			if _, ok := b[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			mb, mn := median(b[u]), median(cur[name][u])
+			delta := "n/a"
+			var pct float64
+			if mb != 0 {
+				pct = (mn - mb) / mb * 100
+				delta = fmt.Sprintf("%+.1f%%", pct)
+			}
+			fmt.Printf("| %s | %s | %.4g | %.4g | %s |\n", name, u, mb, mn, delta)
+			if *threshold > 0 && u == *metric && mb != 0 && pct > *threshold {
+				failed = true
+				fmt.Fprintf(os.Stderr, "benchdiff: %s %s regressed %+.1f%% (limit %.1f%%)\n",
+					name, u, pct, *threshold)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

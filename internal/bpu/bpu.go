@@ -115,6 +115,25 @@ func (b *BPU) PopRSB() (uint64, bool) {
 	return v, true
 }
 
+// Reset restores the BPU to its freshly-constructed state: all PHT counters
+// weakly-not-taken, BTB and RSB emptied, statistics cleared (machine reuse).
+func (b *BPU) Reset() {
+	for i := range b.pht {
+		b.pht[i] = 1
+	}
+	for i := range b.btb {
+		b.btb[i] = btbEntry{}
+	}
+	for i := range b.rsb {
+		b.rsb[i] = 0
+	}
+	b.top = 0
+	b.condLookups = 0
+	b.condMispreds = 0
+	b.retPredicts = 0
+	b.rsbUnderflows = 0
+}
+
 // FlushRSB clears the return stack (context-switch / IBPB model).
 func (b *BPU) FlushRSB() {
 	for i := range b.rsb {

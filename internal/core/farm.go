@@ -35,6 +35,11 @@ type farmCell struct {
 	cycles uint64
 }
 
+// farmPool recycles replica machines across bytes and across LeakSecret
+// calls. A pooled machine is Reset to the replica's derived seed before
+// reuse, which is bit-identical to building it fresh.
+var farmPool = cpu.NewPool()
+
 // LeakSecret plants secret on every replica's kernel and recovers one byte
 // per replica. The result's Cycles is the slowest replica's cost — the
 // critical path when the replicas really do run on distinct cores — and Bps
@@ -47,10 +52,11 @@ func (f *Farm) LeakSecret(secret []byte) (LeakResult, error) {
 		jobs[i] = sched.Job[farmCell]{
 			Key: fmt.Sprintf("replica/%d", i),
 			Run: func(_ context.Context, seed int64) (farmCell, error) {
-				m, err := cpu.NewMachine(f.Model, seed)
+				m, err := farmPool.Get(f.Model, seed)
 				if err != nil {
 					return farmCell{}, err
 				}
+				defer farmPool.Put(m)
 				k, err := kernel.Boot(m, f.Config)
 				if err != nil {
 					return farmCell{}, err

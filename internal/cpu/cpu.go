@@ -4,6 +4,8 @@
 package cpu
 
 import (
+	"sync"
+
 	"fmt"
 	"math/rand"
 
@@ -211,6 +213,71 @@ func MustMachine(m Model, seed int64) *Machine {
 		panic(err)
 	}
 	return mc
+}
+
+// Reset restores the machine to the state NewMachine(mc.Model, seed) leaves
+// it in, reusing every long-lived allocation: physical pages are dropped, the
+// frame allocator rewinds (so the fresh address space's root lands at the
+// same frame NewMachine's does), caches, TLBs, predictor, LFB, and PMU return
+// to power-on state, and the RNG is re-seeded. Simulation behaviour after
+// Reset is bit-identical to a freshly built machine.
+func (mc *Machine) Reset(seed int64) {
+	mc.Phys.Reset()
+	mc.Alloc.Reset()
+	as := paging.NewAddressSpace(mc.Phys, mc.Alloc)
+	mc.Hier.Reset()
+	mc.LFB.Reset()
+	mc.DTLB.Reset()
+	mc.ITLB.Reset()
+	mc.BPU.Reset()
+	mc.PMU.Reset()
+	mc.Rand.Seed(seed)
+	mc.Pipe.Reset(as)
+	mc.Obs = nil
+}
+
+// Pool recycles Machines by model so hot loops (replica farms, sweep cells)
+// amortise machine construction: a recycled machine is Reset to the requested
+// seed, which is observationally identical to NewMachine but reuses the
+// caches', TLBs', and pipeline's backing storage. Pool is safe for concurrent
+// use.
+type Pool struct {
+	mu   sync.Mutex
+	free map[Model][]*Machine
+}
+
+// NewPool returns an empty machine pool.
+func NewPool() *Pool {
+	return &Pool{free: make(map[Model][]*Machine)}
+}
+
+// Get returns a machine equivalent to NewMachine(model, seed): recycled when
+// one is available for the model, freshly built otherwise.
+func (p *Pool) Get(model Model, seed int64) (*Machine, error) {
+	p.mu.Lock()
+	list := p.free[model]
+	var mc *Machine
+	if n := len(list) - 1; n >= 0 {
+		mc = list[n]
+		p.free[model] = list[:n]
+	}
+	p.mu.Unlock()
+	if mc == nil {
+		return NewMachine(model, seed)
+	}
+	mc.Reset(seed)
+	return mc, nil
+}
+
+// Put returns a machine to the pool for later reuse. The caller must not use
+// the machine afterwards.
+func (p *Pool) Put(mc *Machine) {
+	if mc == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free[mc.Model] = append(p.free[mc.Model], mc)
+	p.mu.Unlock()
 }
 
 // EnableObs attaches a fresh observability registry to the machine and

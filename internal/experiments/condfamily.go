@@ -90,6 +90,7 @@ func condRow(c isa.Cond, seed int64) (CondRow, error) {
 	if err != nil {
 		return CondRow{}, err
 	}
+	defer recycle(k)
 	prog, err := condGadget(c)
 	if err != nil {
 		return CondRow{}, err

@@ -53,13 +53,29 @@ func (ex Exec) opts(name string, seed int64) sched.Options {
 	return sched.Options{Name: name, Parallel: ex.Parallel, RootSeed: seed, Obs: ex.Obs}
 }
 
-// boot builds a machine+kernel pair.
+// machinePool recycles machines across sweep cells and repetitions. A pooled
+// machine is Reset to the cell's seed before reuse, which is bit-identical to
+// building it fresh, so cell results are independent of which (if any)
+// machine is recycled — the property the determinism gate and the golden
+// trace tests pin.
+var machinePool = cpu.NewPool()
+
+// boot builds a machine+kernel pair, drawing the machine from the pool.
 func boot(model cpu.Model, cfg kernel.Config, seed int64) (*kernel.Kernel, error) {
-	m, err := cpu.NewMachine(model, seed)
+	m, err := machinePool.Get(model, seed)
 	if err != nil {
 		return nil, err
 	}
 	return kernel.Boot(m, cfg)
+}
+
+// recycle returns a booted kernel's machine to the pool. Callers must have
+// reduced the cell's results to plain values first: after recycle, nothing
+// may touch k, its machine, or probers built on them.
+func recycle(k *kernel.Kernel) {
+	if k != nil {
+		machinePool.Put(k.Machine())
+	}
 }
 
 // check marks an outcome with the paper's ✓/✗ glyphs.

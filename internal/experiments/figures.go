@@ -44,6 +44,7 @@ func Fig1b(ex Exec, batches int, seed int64) (*Fig1bResult, error) {
 				if err != nil {
 					return fig1bBatch{}, err
 				}
+				defer recycle(k)
 				k.WriteSecret([]byte{secret})
 				pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
 				if err != nil {
@@ -147,6 +148,7 @@ func fig4Point(nops int, seed int64) (Fig4Point, error) {
 	if err != nil {
 		return Fig4Point{}, err
 	}
+	defer recycle(k)
 	m := k.Machine()
 	prog, err := fig4Gadget(nops)
 	if err != nil {

@@ -33,6 +33,7 @@ func KASLRSuite(ex Exec, reps int, seed int64) ([]KASLRRow, error) {
 		if err != nil {
 			return KASLRRow{}, err
 		}
+		defer recycle(k)
 		a, err := core.NewTETKASLR(k)
 		if err != nil {
 			return KASLRRow{}, err
@@ -59,6 +60,7 @@ func KASLRSuite(ex Exec, reps int, seed int64) ([]KASLRRow, error) {
 		if err != nil {
 			return KASLRRow{}, err
 		}
+		defer recycle(k)
 		a, err := core.NewTETKASLR(k)
 		if err != nil {
 			return KASLRRow{}, err
@@ -92,6 +94,7 @@ func KASLRSuite(ex Exec, reps int, seed int64) ([]KASLRRow, error) {
 		if err != nil {
 			return KASLRRow{}, err
 		}
+		defer recycle(k)
 		a, err := baseline.NewPrefetchKASLR(k)
 		if err != nil {
 			return KASLRRow{}, err

@@ -40,6 +40,7 @@ func Mitigations(ex Exec, seed int64) ([]MitigationRow, error) {
 		if err != nil {
 			return MitigationRow{}, err
 		}
+		defer recycle(k)
 		k.WriteSecret(mitSecret)
 		md, err := core.NewTETMeltdown(k)
 		if err != nil {
@@ -61,6 +62,7 @@ func Mitigations(ex Exec, seed int64) ([]MitigationRow, error) {
 		if err != nil {
 			return MitigationRow{}, err
 		}
+		defer recycle(k)
 		k.WriteSecret(mitSecret)
 		fr, err := baseline.NewMeltdownFR(k)
 		if err != nil {
@@ -81,6 +83,7 @@ func Mitigations(ex Exec, seed int64) ([]MitigationRow, error) {
 		if err != nil {
 			return MitigationRow{}, err
 		}
+		defer recycle(k)
 		k.WriteSecret(mitSecret)
 		z, err := core.NewTETZombieload(k)
 		if err != nil {
@@ -197,6 +200,7 @@ func Stealth(ex Exec, seed int64) ([]StealthRow, error) {
 			if err != nil {
 				return StealthRow{}, err
 			}
+			defer recycle(k)
 			k.WriteSecret(mitSecret)
 			md, err := core.NewTETMeltdown(k)
 			if err != nil {
@@ -222,6 +226,7 @@ func Stealth(ex Exec, seed int64) ([]StealthRow, error) {
 			if err != nil {
 				return StealthRow{}, err
 			}
+			defer recycle(k)
 			k.WriteSecret(mitSecret)
 			fr, err := baseline.NewMeltdownFR(k)
 			if err != nil {

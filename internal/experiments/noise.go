@@ -62,6 +62,7 @@ func noisePoint(sigma float64, batches int, mean bool, seed int64) (NoisePoint, 
 	if err != nil {
 		return NoisePoint{}, err
 	}
+	defer recycle(k)
 	k.WriteSecret(secret)
 	md, err := core.NewTETMeltdown(k)
 	if err != nil {

@@ -79,6 +79,7 @@ func table2Row(model cpu.Model, params Table2Params, seed int64) (Table2Row, err
 		if err != nil {
 			return fail(err)
 		}
+		defer recycle(k)
 		cc, err := core.NewTETCovertChannel(k)
 		if err != nil {
 			return fail(err)
@@ -96,6 +97,7 @@ func table2Row(model cpu.Model, params Table2Params, seed int64) (Table2Row, err
 		if err != nil {
 			return fail(err)
 		}
+		defer recycle(k)
 		k.WriteSecret(secret)
 		md, err := NewQuickMD(k)
 		if err != nil {
@@ -113,6 +115,7 @@ func table2Row(model cpu.Model, params Table2Params, seed int64) (Table2Row, err
 		if err != nil {
 			return fail(err)
 		}
+		defer recycle(k)
 		k.WriteSecret(secret)
 		z, err := core.NewTETZombieload(k)
 		if err != nil {
@@ -131,6 +134,7 @@ func table2Row(model cpu.Model, params Table2Params, seed int64) (Table2Row, err
 		if err != nil {
 			return fail(err)
 		}
+		defer recycle(k)
 		m := k.Machine()
 		secretVA := uint64(kernel.UserDataBase + 0x300)
 		pa, _ := k.UserAS().Translate(secretVA)
@@ -152,6 +156,7 @@ func table2Row(model cpu.Model, params Table2Params, seed int64) (Table2Row, err
 		if err != nil {
 			return fail(err)
 		}
+		defer recycle(k)
 		ka, err := core.NewTETKASLR(k)
 		if err != nil {
 			return fail(err)

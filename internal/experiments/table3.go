@@ -127,6 +127,7 @@ func sceneCC(model cpu.Model, seed int64, keys []KeyEvent) (Table3Scene, error) 
 	if err != nil {
 		return Table3Scene{}, err
 	}
+	defer recycle(k)
 	m := k.Machine()
 	pr, err := core.NewProber(m, core.SuppressTSX, false)
 	if err != nil {
@@ -171,6 +172,7 @@ func sceneMD(seed int64) (Table3Scene, error) {
 	if err != nil {
 		return Table3Scene{}, err
 	}
+	defer recycle(k)
 	secret := byte('S')
 	k.WriteSecret([]byte{secret})
 	m := k.Machine()
@@ -234,6 +236,7 @@ func sceneKASLR(seed int64) (Table3Scene, error) {
 	if err != nil {
 		return Table3Scene{}, err
 	}
+	defer recycle(k)
 	m := k.Machine()
 	pr, err := core.NewProber(m, core.SuppressTSX, true)
 	if err != nil {

@@ -79,6 +79,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			cc, err := core.NewTETCovertChannel(k)
 			if err != nil {
 				return ThroughputRow{}, err
@@ -96,6 +97,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			payload := randomPayload(bytes, 2)
 			k.WriteSecret(payload)
 			md, err := core.NewTETMeltdown(k)
@@ -114,6 +116,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			payload := randomPayload(bytes, 3)
 			k.WriteSecret(payload)
 			z, err := core.NewTETZombieload(k)
@@ -132,6 +135,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			m := k.Machine()
 			payload := randomPayload(bytes, 4)
 			secretVA := uint64(kernel.UserDataBase + 0x400)
@@ -153,6 +157,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			ch, err := smt.NewChannel(k, smt.ModeReliable)
 			if err != nil {
 				return ThroughputRow{}, err
@@ -169,6 +174,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			ch, err := smt.NewChannel(k, smt.ModeSecSMT)
 			if err != nil {
 				return ThroughputRow{}, err
@@ -186,6 +192,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			fr, err := baseline.NewFlushReload(k)
 			if err != nil {
 				return ThroughputRow{}, err
@@ -202,6 +209,7 @@ func Throughput(ex Exec, bytes int, seed int64) ([]ThroughputRow, error) {
 			if err != nil {
 				return ThroughputRow{}, err
 			}
+			defer recycle(k)
 			payload := randomPayload(bytes, 8)
 			k.WriteSecret(payload)
 			md, err := baseline.NewMeltdownFR(k)

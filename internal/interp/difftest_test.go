@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"whisper/internal/bpu"
+	"whisper/internal/cpu"
 	"whisper/internal/isa"
 	"whisper/internal/mem"
 	"whisper/internal/paging"
@@ -205,6 +206,89 @@ func TestDifferentialPipelineVsInterpreter(t *testing.T) {
 			if gotMem[j] != wantMem[j] {
 				t.Fatalf("seed %d: memory diverges at +%#x: pipeline %#x, interp %#x",
 					seed, j, gotMem[j], wantMem[j])
+			}
+		}
+	}
+}
+
+// diffModel is the CPU model the Reset-reuse difftest runs on: the default
+// configuration with measurement noise pinned off, matching newDiffPipeline.
+func diffModel() cpu.Model {
+	m := cpu.I7_7700()
+	m.Pipe.NoiseSigma = 0
+	m.Pipe.InterruptProb = 0
+	return m
+}
+
+// mapDiffEnv installs the difftest memory layout into a machine's address
+// space and seeds the data pages, mirroring newDiffEnv on a cpu.Machine.
+func mapDiffEnv(t *testing.T, m *cpu.Machine, r *rand.Rand) {
+	t.Helper()
+	as := m.Pipe.AddressSpace()
+	for _, rg := range []struct {
+		va    uint64
+		n     int
+		flags uint64
+	}{
+		{dtCodeBase, 16, paging.FlagU},
+		{dtDataBase, dtDataPages, paging.FlagU | paging.FlagW},
+		{dtStackBase, 4, paging.FlagU | paging.FlagW},
+	} {
+		if _, err := as.MapRange(rg.va, rg.n, rg.flags); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, dtDataPages*paging.PageSize4K)
+	r.Read(buf)
+	pa, _ := as.Translate(dtDataBase)
+	m.Phys.StoreBytes(pa, buf)
+}
+
+// TestDifferentialResetReuse pins the machine-reuse contract the experiment
+// pool relies on: running a program on a machine recycled with Machine.Reset
+// is bit-identical — same architectural state, same cycle count — to running
+// it on a freshly constructed pipeline, and a second Reset+run on the same
+// machine reproduces the first exactly.
+func TestDifferentialResetReuse(t *testing.T) {
+	const programs = 40
+	reused := cpu.MustMachine(diffModel(), 1)
+	for i := 0; i < programs; i++ {
+		seed := int64(9000 + i)
+		prog := genProgram(rand.New(rand.NewSource(seed)))
+
+		// Reference world: fresh environment, fresh pipeline.
+		ef := newDiffEnv(t)
+		ef.seedData(rand.New(rand.NewSource(seed * 11)))
+		pf := newDiffPipeline(t, ef)
+		if _, err := pf.Exec(prog, 10_000_000); err != nil {
+			t.Fatalf("seed %d: fresh: %v", seed, err)
+		}
+		wantMem := ef.dataBytes()
+
+		// Reused world: one machine, Reset before every run, each program run
+		// twice on it.
+		for round := 0; round < 2; round++ {
+			reused.Reset(1)
+			mapDiffEnv(t, reused, rand.New(rand.NewSource(seed*11)))
+			if _, err := reused.Pipe.Exec(prog, 10_000_000); err != nil {
+				t.Fatalf("seed %d round %d: reused: %v", seed, round, err)
+			}
+			if got, want := reused.Pipe.Cycle(), pf.Cycle(); got != want {
+				t.Fatalf("seed %d round %d: cycles %d, fresh %d", seed, round, got, want)
+			}
+			for _, r := range append(append([]isa.Reg{}, genRegs...), isa.RSP, isa.R15) {
+				if got, want := reused.Pipe.Reg(r), pf.Reg(r); got != want {
+					t.Fatalf("seed %d round %d: reg %v: reused %#x, fresh %#x",
+						seed, round, r, got, want)
+				}
+			}
+			as := reused.Pipe.AddressSpace()
+			pa, _ := as.Translate(dtDataBase)
+			gotMem := reused.Phys.LoadBytes(pa, dtDataPages*paging.PageSize4K)
+			for j := range wantMem {
+				if gotMem[j] != wantMem[j] {
+					t.Fatalf("seed %d round %d: memory diverges at +%#x", seed, round, j)
+				}
 			}
 		}
 	}

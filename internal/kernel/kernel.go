@@ -107,6 +107,17 @@ func Boot(m *cpu.Machine, cfg Config) (*Kernel, error) {
 	return k, err
 }
 
+// Reboot resets the machine to the state NewMachine(m.Model, seed) would
+// produce and boots a fresh kernel on it. A rebooted machine is bit-identical
+// to a freshly constructed and booted one — the Reset rewinds physical
+// memory, the frame allocator, caches, TLBs, the predictor, the PMU, and the
+// RNG — but reuses the machine's backing storage, which is what makes pooled
+// machine reuse (cpu.Pool) observationally safe.
+func Reboot(m *cpu.Machine, cfg Config, seed int64) (*Kernel, error) {
+	m.Reset(seed)
+	return Boot(m, cfg)
+}
+
 // bootKernel is Boot's uninstrumented body.
 func bootKernel(m *cpu.Machine, cfg Config) (*Kernel, error) {
 	k := &Kernel{m: m, cfg: cfg, funcs: make(map[string]uint64)}
@@ -322,7 +333,7 @@ func (k *Kernel) SyscallRoundTrip() {
 // target of slot s, forcing the next walk to DRAM.
 func (k *Kernel) EvictProbePTEs(s int) {
 	w := k.userAS.WalkVA(k.ProbeTarget(s))
-	for _, pte := range w.PTEReads {
+	for _, pte := range w.PTEReads() {
 		k.m.Hier.Flush(pte)
 	}
 	k.m.Pipe.Skip(EvictPTECost)

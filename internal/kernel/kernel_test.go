@@ -197,11 +197,11 @@ func TestEvictProbePTEs(t *testing.T) {
 	m := k.Machine()
 	s := k.BaseSlot()
 	w := k.UserAS().WalkVA(k.ProbeTarget(s))
-	for _, pte := range w.PTEReads {
+	for _, pte := range w.PTEReads() {
 		m.Hier.AccessData(pte) // warm
 	}
 	k.EvictProbePTEs(s)
-	for _, pte := range w.PTEReads {
+	for _, pte := range w.PTEReads() {
 		if m.Hier.L1D.Contains(pte) {
 			t.Fatalf("PTE line %#x still cached", pte)
 		}

@@ -123,6 +123,19 @@ func (c *Cache) FlushAll() {
 	}
 }
 
+// Reset restores the cache to its freshly-constructed state: every line
+// invalid, the LRU tick rewound, and the hit/miss statistics cleared. The
+// tick rewind matters for machine reuse — LRU victim choice depends on it,
+// so a reused cache must replay the exact tick sequence of a fresh one.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.tick = 0
+	c.hits = 0
+	c.misses = 0
+}
+
 // Stats returns cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 

@@ -153,6 +153,15 @@ func (h *Hierarchy) Flush(pa uint64) {
 	h.L3.Evict(pa)
 }
 
+// Reset restores every level to its freshly-constructed state (lines, LRU
+// ticks, and statistics), for machine reuse.
+func (h *Hierarchy) Reset() {
+	h.L1D.Reset()
+	h.L1I.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+}
+
 // FlushAll empties every cache (used when modelling context switches).
 func (h *Hierarchy) FlushAll() {
 	h.L1D.FlushAll()

@@ -48,6 +48,14 @@ func (l *LFB) Scrub() {
 	}
 }
 
+// Reset restores the buffer to its freshly-constructed state, including the
+// allocation cursor and fill statistics (machine reuse).
+func (l *LFB) Reset() {
+	l.Scrub()
+	l.next = 0
+	l.filled = 0
+}
+
 // Size returns the number of entries.
 func (l *LFB) Size() int { return len(l.entries) }
 

@@ -78,6 +78,13 @@ func (p *Physical) StoreBytes(pa uint64, b []byte) {
 	}
 }
 
+// Reset drops every backed page, returning the memory to its
+// freshly-constructed all-zero state while keeping the page index's storage
+// for reuse.
+func (p *Physical) Reset() {
+	clear(p.pages)
+}
+
 // PageCount returns the number of backed pages (for tests and accounting).
 func (p *Physical) PageCount() int { return len(p.pages) }
 

@@ -33,6 +33,7 @@ const (
 
 // FrameAllocator hands out physical frames with a bump pointer.
 type FrameAllocator struct {
+	base uint64
 	next uint64
 }
 
@@ -41,8 +42,12 @@ func NewFrameAllocator(base uint64) *FrameAllocator {
 	if base%PageSize4K != 0 {
 		panic("paging: allocator base not page-aligned")
 	}
-	return &FrameAllocator{next: base}
+	return &FrameAllocator{base: base, next: base}
 }
+
+// Reset rewinds the bump pointer to the allocator's original base, so a
+// reused machine allocates the exact same frame sequence as a fresh one.
+func (a *FrameAllocator) Reset() { a.next = a.base }
 
 // Alloc4K returns a fresh 4 KiB-aligned frame.
 func (a *FrameAllocator) Alloc4K() uint64 {
@@ -211,18 +216,25 @@ func (as *AddressSpace) Unmap(va uint64) bool {
 	return true
 }
 
-// Walk is the result of a page-table walk.
+// Walk is the result of a page-table walk. The PTE-read record is a fixed
+// inline array (a walk touches at most four levels) so that walks on the
+// pipeline's hot path allocate nothing.
 type Walk struct {
-	VA       uint64
-	PA       uint64   // translated physical address (valid if Present)
-	Flags    uint64   // leaf flags
-	Present  bool     // translation exists
-	Huge     bool     // 2 MiB leaf
-	PTEReads []uint64 // physical addresses of every PTE read, in order
+	VA      uint64
+	PA      uint64 // translated physical address (valid if Present)
+	Flags   uint64 // leaf flags
+	Present bool   // translation exists
+	Huge    bool   // 2 MiB leaf
+
+	pteReads [4]uint64
+	nPTE     int
 }
 
+// PTEReads returns the physical addresses of every PTE read, in order.
+func (w *Walk) PTEReads() []uint64 { return w.pteReads[:w.nPTE] }
+
 // Depth returns the number of table levels touched.
-func (w Walk) Depth() int { return len(w.PTEReads) }
+func (w Walk) Depth() int { return w.nPTE }
 
 // User reports whether the leaf permits user-mode access.
 func (w Walk) User() bool { return w.Present && w.Flags&FlagU != 0 }
@@ -244,7 +256,8 @@ func (as *AddressSpace) WalkVA(va uint64) Walk {
 	tables[0] = as.root
 	for lvl := 0; lvl < 4; lvl++ {
 		pteAddr := tables[lvl] + uint64(idxs[lvl])*entryBytes
-		w.PTEReads = append(w.PTEReads, pteAddr)
+		w.pteReads[w.nPTE] = pteAddr
+		w.nPTE++
 		e := as.phys.Read(pteAddr, entryBytes)
 		if e&FlagP == 0 {
 			return w

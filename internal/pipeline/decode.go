@@ -1,0 +1,158 @@
+package pipeline
+
+import "whisper/internal/isa"
+
+// decInst is the decoded form of one instruction: the static per-uop facts
+// the frontend and backend would otherwise re-derive — with an allocation, in
+// SrcRegs' case — on every fetch and every wakeup scan. One decInst is built
+// per program instruction the first time the program runs on a pipeline and
+// shared by every uop fetched from that slot afterwards.
+type decInst struct {
+	in          isa.Inst
+	pc          uint64
+	dst         isa.Reg
+	srcs        [2]isa.Reg
+	nsrc        int
+	readsFlags  bool
+	writesFlags bool
+	fence       bool
+	branch      bool
+	load        bool
+}
+
+// decProgram is the decoded image of one isa.Program.
+type decProgram struct {
+	insts []decInst
+}
+
+// decodedCacheMax bounds the per-pipeline decode memo. Reused machines see a
+// fresh *isa.Program per boot; without a bound the memo would retain every
+// dead program's decode.
+const decodedCacheMax = 64
+
+// decodeProgram returns the memoized decode of prog, building it on first
+// use. The memo is keyed by program identity and survives Reset, so reused
+// machines re-running the same program skip decode entirely.
+func (p *Pipeline) decodeProgram(prog *isa.Program) *decProgram {
+	if d, ok := p.decoded[prog]; ok {
+		return d
+	}
+	if len(p.decoded) >= decodedCacheMax {
+		clear(p.decoded)
+	}
+	d := &decProgram{insts: make([]decInst, prog.Len())}
+	for i := range d.insts {
+		in := prog.At(i)
+		di := &d.insts[i]
+		di.in = in
+		di.pc = prog.VA(i)
+		di.dst = in.DstReg()
+		for _, r := range in.SrcRegs() {
+			di.srcs[di.nsrc] = r
+			di.nsrc++
+		}
+		di.readsFlags = in.ReadsFlags()
+		di.writesFlags = in.WritesFlags()
+		di.fence = in.IsFence()
+		di.branch = in.IsBranch()
+		di.load = in.Op == isa.OpLoad
+	}
+	p.decoded[prog] = d
+	return d
+}
+
+// uopRing is a fixed-capacity FIFO of in-flight uops with positional access
+// in age order (ROB order). Capacity is rounded up to a power of two so the
+// position-to-slot mapping is a mask, and the ring never grows or allocates
+// after construction.
+type uopRing struct {
+	buf  []*uop
+	mask int
+	head int
+	n    int
+}
+
+func newUopRing(capacity int) uopRing {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return uopRing{buf: make([]*uop, c), mask: c - 1}
+}
+
+// Len returns the number of uops in the ring.
+func (r *uopRing) Len() int { return r.n }
+
+// At returns the uop at age position i (0 = oldest).
+func (r *uopRing) At(i int) *uop { return r.buf[(r.head+i)&r.mask] }
+
+// PushBack appends the youngest uop. The caller guarantees capacity (the
+// pipeline gates on ROBSize/IDQSize before pushing).
+func (r *uopRing) PushBack(u *uop) {
+	r.buf[(r.head+r.n)&r.mask] = u
+	r.n++
+}
+
+// PopFront removes and returns the oldest uop.
+func (r *uopRing) PopFront() *uop {
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & r.mask
+	r.n--
+	return u
+}
+
+// TruncateTo drops every uop at position >= keep (a squash). Callers emit
+// traces for and recycle the dropped uops first.
+func (r *uopRing) TruncateTo(keep int) {
+	for i := keep; i < r.n; i++ {
+		r.buf[(r.head+i)&r.mask] = nil
+	}
+	r.n = keep
+}
+
+// allocUop takes a zeroed uop from the arena, growing it only when empty.
+func (p *Pipeline) allocUop() *uop {
+	if n := len(p.freeUops) - 1; n >= 0 {
+		u := p.freeUops[n]
+		p.freeUops = p.freeUops[:n]
+		return u
+	}
+	return new(uop)
+}
+
+// recycleUop returns a uop to the arena once no pipeline structure references
+// it (after retirement or squash, with its trace record already emitted).
+func (p *Pipeline) recycleUop(u *uop) {
+	*u = uop{}
+	p.freeUops = append(p.freeUops, u)
+}
+
+// recycleAll drains a ring into the arena without emitting traces (used when
+// abandoning the previous run's leftovers and on Reset).
+func (p *Pipeline) recycleAll(r *uopRing) {
+	for r.n > 0 {
+		p.recycleUop(r.PopFront())
+	}
+	r.head = 0
+	if r == &p.rob {
+		p.rsOcc, p.fencesPending, p.execCount, p.memCount = 0, 0, 0, 0
+		p.minDoneAt = 0
+		p.lastStartAt = ^uint64(0)
+	}
+}
+
+// squashFrom emits squash traces for and recycles every uop at position >=
+// keep, then truncates the ring.
+func (p *Pipeline) squashFrom(r *uopRing, keep int) {
+	rob := r == &p.rob
+	for i := keep; i < r.n; i++ {
+		u := r.At(i)
+		if rob {
+			p.noteDrop(u)
+		}
+		p.emitTrace(u, false)
+		p.recycleUop(u)
+	}
+	r.TruncateTo(keep)
+}

@@ -17,8 +17,8 @@ func (p *Pipeline) regValue(pos int, r isa.Reg) (uint64, bool) {
 		return 0, true
 	}
 	for i := pos - 1; i >= 0; i-- {
-		v := p.rob[i]
-		if v.in.DstReg() != r {
+		v := p.rob.At(i)
+		if v.d.dst != r {
 			continue
 		}
 		if v.done && p.cycle >= v.doneAt {
@@ -29,11 +29,27 @@ func (p *Pipeline) regValue(pos int, r isa.Reg) (uint64, bool) {
 	return p.regs[r], true
 }
 
+// regReady reports whether regValue would succeed for the uop at pos — the
+// side-effect-free operand-availability predicate skipIdle scans with.
+func (p *Pipeline) regReady(pos int, r isa.Reg) bool {
+	if r == isa.RZERO {
+		return true
+	}
+	for i := pos - 1; i >= 0; i-- {
+		v := p.rob.At(i)
+		if v.d.dst != r {
+			continue
+		}
+		return v.done && p.cycle >= v.doneAt
+	}
+	return true
+}
+
 // flagsValue resolves RFLAGS for the uop at pos.
 func (p *Pipeline) flagsValue(pos int) (isa.Flags, bool) {
 	for i := pos - 1; i >= 0; i-- {
-		v := p.rob[i]
-		if !v.in.WritesFlags() {
+		v := p.rob.At(i)
+		if !v.d.writesFlags {
 			continue
 		}
 		if v.done && p.cycle >= v.doneAt {
@@ -44,15 +60,56 @@ func (p *Pipeline) flagsValue(pos int) (isa.Flags, bool) {
 	return p.flags, true
 }
 
+// flagsReady is regReady for RFLAGS.
+func (p *Pipeline) flagsReady(pos int) bool {
+	for i := pos - 1; i >= 0; i-- {
+		v := p.rob.At(i)
+		if !v.d.writesFlags {
+			continue
+		}
+		return v.done && p.cycle >= v.doneAt
+	}
+	return true
+}
+
+// wouldStart reports whether tryStart could make progress on u this cycle —
+// i.e. whether its operands are available. For memory ops this is
+// deliberately conservative: operand-ready memory ops re-walk translation
+// (with TLB/cache/PMU side effects) every cycle even when ultimately blocked
+// by an older store or clflush, so skipIdle must step them.
+func (p *Pipeline) wouldStart(pos int, u *uop) bool {
+	in := &u.d.in
+	switch in.Op {
+	case isa.OpNop, isa.OpJmp, isa.OpXend, isa.OpHalt, isa.OpXbegin,
+		isa.OpRdtsc, isa.OpMovImm:
+		return true
+	case isa.OpMov, isa.OpAddImm, isa.OpSubImm, isa.OpAndImm,
+		isa.OpShlImm, isa.OpShrImm, isa.OpCmpImm:
+		return p.regReady(pos, in.Src1)
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpCmp, isa.OpImul:
+		return p.regReady(pos, in.Src1) && p.regReady(pos, in.Src2)
+	case isa.OpJcc:
+		return p.flagsReady(pos)
+	case isa.OpLoad, isa.OpClflush, isa.OpPrefetch:
+		return p.regReady(pos, in.Src1)
+	case isa.OpStore:
+		return p.regReady(pos, in.Src1) && p.regReady(pos, in.Src2)
+	case isa.OpCall, isa.OpRet:
+		return p.regReady(pos, isa.RSP)
+	default:
+		return true
+	}
+}
+
 // execute starts ready uops on available ports.
 func (p *Pipeline) execute() {
 	aluUsed, loadUsed := 0, 0
-	for pos := 0; pos < len(p.rob); pos++ {
-		u := p.rob[pos]
-		if u.started || u.isFence() {
+	for pos := 0; pos < p.rob.Len(); pos++ {
+		u := p.rob.At(pos)
+		if u.started || u.d.fence {
 			continue
 		}
-		isMemPort := u.isLoad() || u.in.Op == isa.OpRet
+		isMemPort := u.d.load || u.d.in.Op == isa.OpRet
 		if isMemPort && loadUsed >= p.cfg.LoadPorts {
 			continue
 		}
@@ -73,7 +130,8 @@ func (p *Pipeline) execute() {
 // tryStart begins execution of u if its operands are available; it reports
 // whether the uop started.
 func (p *Pipeline) tryStart(pos int, u *uop) bool {
-	switch u.in.Op {
+	in := &u.d.in
+	switch in.Op {
 	case isa.OpNop, isa.OpJmp, isa.OpXend, isa.OpHalt:
 		p.begin(u, p.cfg.ALULat)
 	case isa.OpXbegin:
@@ -83,33 +141,33 @@ func (p *Pipeline) tryStart(pos int, u *uop) bool {
 		u.result = p.cycle + p.timerNoise()
 	case isa.OpMovImm:
 		p.begin(u, p.cfg.ALULat)
-		u.result = uint64(u.in.Imm)
+		u.result = uint64(in.Imm)
 	case isa.OpMov:
-		v, ok := p.regValue(pos, u.in.Src1)
+		v, ok := p.regValue(pos, in.Src1)
 		if !ok {
 			return false
 		}
 		p.begin(u, p.cfg.ALULat)
 		u.result = v
 	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpCmp, isa.OpImul:
-		a, ok1 := p.regValue(pos, u.in.Src1)
-		b, ok2 := p.regValue(pos, u.in.Src2)
+		a, ok1 := p.regValue(pos, in.Src1)
+		b, ok2 := p.regValue(pos, in.Src2)
 		if !ok1 || !ok2 {
 			return false
 		}
 		lat := p.cfg.ALULat
-		if u.in.Op == isa.OpImul {
+		if in.Op == isa.OpImul {
 			lat = p.cfg.MulLat
 		}
 		p.begin(u, lat)
-		u.result, u.flagsOut = alu(u.in.Op, a, b)
+		u.result, u.flagsOut = alu(in.Op, a, b)
 	case isa.OpAddImm, isa.OpSubImm, isa.OpAndImm, isa.OpShlImm, isa.OpShrImm, isa.OpCmpImm:
-		a, ok := p.regValue(pos, u.in.Src1)
+		a, ok := p.regValue(pos, in.Src1)
 		if !ok {
 			return false
 		}
 		p.begin(u, p.cfg.ALULat)
-		u.result, u.flagsOut = aluImm(u.in.Op, a, uint64(u.in.Imm))
+		u.result, u.flagsOut = aluImm(in.Op, a, uint64(in.Imm))
 	case isa.OpJcc:
 		fl, ok := p.flagsValue(pos)
 		if !ok {
@@ -137,6 +195,37 @@ func (p *Pipeline) begin(u *uop, lat uint64) {
 	u.started = true
 	u.startAt = p.cycle
 	u.doneAt = p.cycle + lat
+	p.noteStart(u)
+}
+
+// noteStart maintains the ROB aggregates when a uop begins executing.
+func (p *Pipeline) noteStart(u *uop) {
+	p.execCount++
+	if u.d.load || u.d.in.Op == isa.OpRet {
+		p.memCount++
+	}
+	if u.doneAt < p.minDoneAt {
+		p.minDoneAt = u.doneAt
+	}
+	p.lastStartAt = p.cycle
+}
+
+// noteDrop maintains the ROB aggregates when a uop leaves the ROB without
+// completing (squash or fault pop).
+func (p *Pipeline) noteDrop(u *uop) {
+	if u.done {
+		return
+	}
+	p.rsOcc--
+	if u.d.fence {
+		p.fencesPending--
+	}
+	if u.started {
+		p.execCount--
+		if u.d.load || u.d.in.Op == isa.OpRet {
+			p.memCount--
+		}
+	}
 }
 
 func alu(op isa.Op, a, b uint64) (uint64, isa.Flags) {
@@ -195,7 +284,7 @@ func (p *Pipeline) translate(va uint64) (pa uint64, flags uint64, lat uint64, pr
 	}
 	p.res.PMU.Inc(pmu.DtlbLoadMissesMissCausesAWalk)
 	w := p.res.AS.WalkVA(va)
-	for _, pteAddr := range w.PTEReads {
+	for _, pteAddr := range w.PTEReads() {
 		l, _ := p.res.Hier.AccessData(pteAddr)
 		lat += l + p.cfg.WalkLevelLat
 		p.res.PMU.Inc(pmu.PageWalkerLoads)
@@ -219,8 +308,8 @@ func (p *Pipeline) translate(va uint64) (pa uint64, flags uint64, lat uint64, pr
 func (p *Pipeline) blockedByFlush(pos int, va uint64) bool {
 	line := va &^ (mem.LineSize - 1)
 	for i := pos - 1; i >= 0; i-- {
-		v := p.rob[i]
-		if v.in.Op != isa.OpClflush {
+		v := p.rob.At(i)
+		if v.d.in.Op != isa.OpClflush {
 			continue
 		}
 		if !v.started {
@@ -237,8 +326,8 @@ func (p *Pipeline) blockedByFlush(pos int, va uint64) bool {
 // any, and whether an older incomplete store to va forces a wait.
 func (p *Pipeline) forwardingStore(pos int, va uint64) (*uop, bool) {
 	for i := pos - 1; i >= 0; i-- {
-		v := p.rob[i]
-		if v.in.Op != isa.OpStore && v.in.Op != isa.OpCall {
+		v := p.rob.At(i)
+		if v.d.in.Op != isa.OpStore && v.d.in.Op != isa.OpCall {
 			continue
 		}
 		if !v.started {
@@ -258,11 +347,11 @@ func (p *Pipeline) forwardingStore(pos int, va uint64) (*uop, bool) {
 // startLoad begins a load, handling translation, faults, transient
 // forwarding, store forwarding, and the cache access.
 func (p *Pipeline) startLoad(pos int, u *uop) bool {
-	base, ok := p.regValue(pos, u.in.Src1)
+	base, ok := p.regValue(pos, u.d.in.Src1)
 	if !ok {
 		return false
 	}
-	va := base + uint64(u.in.Imm)
+	va := base + uint64(u.d.in.Imm)
 	pa, flags, transLat, present := p.translate(va)
 	u.memVA = va
 	switch {
@@ -280,7 +369,7 @@ func (p *Pipeline) startLoad(pos int, u *uop) bool {
 			u.abortable = false
 		}
 		p.beginMem(u, transLat+p.cfg.TransFwdLat)
-		u.result = truncate(fwd, u.in.Size)
+		u.result = truncate(fwd, u.d.in.Size)
 	case flags&pageUser == 0:
 		u.fault = FaultPerm
 		u.assistAt = p.cycle + transLat + p.cfg.PermFaultLat
@@ -288,10 +377,10 @@ func (p *Pipeline) startLoad(pos int, u *uop) bool {
 		u.translated = true
 		var fwd uint64
 		if p.cfg.MeltdownVulnerable {
-			fwd = p.res.Hier.Phys.Read(pa, u.in.Size)
+			fwd = p.res.Hier.Phys.Read(pa, u.d.in.Size)
 		}
 		p.beginMem(u, transLat+p.cfg.TransFwdLat)
-		u.result = truncate(fwd, u.in.Size)
+		u.result = truncate(fwd, u.d.in.Size)
 	default:
 		if p.blockedByFlush(pos, va) {
 			u.waitingFlush = true
@@ -306,12 +395,12 @@ func (p *Pipeline) startLoad(pos int, u *uop) bool {
 		u.translated = true
 		if st != nil {
 			p.beginMem(u, transLat+p.cfg.FwdLat)
-			u.result = truncate(st.storeData, u.in.Size)
+			u.result = truncate(st.storeData, u.d.in.Size)
 			return true
 		}
 		var lat uint64
 		var lvl mem.Level
-		val := p.res.Hier.Phys.Read(pa, u.in.Size)
+		val := p.res.Hier.Phys.Read(pa, u.d.in.Size)
 		if p.cfg.InvisibleSpeculation && p.underShadow(pos) {
 			// InvisiSpec-style service: data returns, nothing fills.
 			lat, lvl = p.res.Hier.AccessDataInvisible(pa)
@@ -332,11 +421,11 @@ func (p *Pipeline) startLoad(pos int, u *uop) bool {
 // shadow: an older unresolved branch or an older pending fault.
 func (p *Pipeline) underShadow(pos int) bool {
 	for i := 0; i < pos; i++ {
-		v := p.rob[i]
+		v := p.rob.At(i)
 		if v.fault != FaultNone {
 			return true
 		}
-		if v.isBranch() && !v.done {
+		if v.d.branch && !v.done {
 			return true
 		}
 	}
@@ -359,17 +448,18 @@ func (p *Pipeline) beginMem(u *uop, lat uint64) {
 	u.started = true
 	u.startAt = p.cycle
 	u.doneAt = p.cycle + lat
+	p.noteStart(u)
 }
 
 // startStore computes a store's address and data; memory is written at
 // retirement, so transient stores never become visible.
 func (p *Pipeline) startStore(pos int, u *uop) bool {
-	base, ok1 := p.regValue(pos, u.in.Src1)
-	data, ok2 := p.regValue(pos, u.in.Src2)
+	base, ok1 := p.regValue(pos, u.d.in.Src1)
+	data, ok2 := p.regValue(pos, u.d.in.Src2)
 	if !ok1 || !ok2 {
 		return false
 	}
-	va := base + uint64(u.in.Imm)
+	va := base + uint64(u.d.in.Imm)
 	pa, flags, transLat, present := p.translate(va)
 	u.memVA = va
 	switch {
@@ -454,11 +544,11 @@ func (p *Pipeline) startRet(pos int, u *uop) bool {
 }
 
 func (p *Pipeline) startFlushOrPrefetch(pos int, u *uop) bool {
-	base, ok := p.regValue(pos, u.in.Src1)
+	base, ok := p.regValue(pos, u.d.in.Src1)
 	if !ok {
 		return false
 	}
-	va := base + uint64(u.in.Imm)
+	va := base + uint64(u.d.in.Imm)
 	pa, _, transLat, present := p.translate(va)
 	u.memVA = va
 	if present {
@@ -472,36 +562,60 @@ func (p *Pipeline) startFlushOrPrefetch(pos int, u *uop) bool {
 	return true
 }
 
-// complete finalises uops whose latency elapsed and resolves branches.
+// complete finalises uops whose latency elapsed and resolves branches. The
+// scan is skipped outright on cycles where nothing can finish: no in-flight
+// uop's latency has elapsed (minDoneAt) and no fence is waiting on older
+// completions.
 func (p *Pipeline) complete() {
-	for pos := 0; pos < len(p.rob); pos++ {
-		u := p.rob[pos]
-		if u.isFence() {
+	if p.fencesPending == 0 && p.cycle < p.minDoneAt {
+		return
+	}
+	newMin := ^uint64(0)
+	for pos := 0; pos < p.rob.Len(); pos++ {
+		u := p.rob.At(pos)
+		if u.d.fence {
 			if !u.done && p.allOlderDone(pos) {
 				u.started = true
 				u.startAt = p.cycle
 				u.done = true
 				u.doneAt = p.cycle
+				p.rsOcc--
+				p.fencesPending--
+				p.lastStartAt = p.cycle
 			}
 			continue
 		}
-		if !u.started || u.done || p.cycle < u.doneAt {
+		if !u.started || u.done {
+			continue
+		}
+		if p.cycle < u.doneAt {
+			if u.doneAt < newMin {
+				newMin = u.doneAt
+			}
 			continue
 		}
 		u.done = true
-		switch u.in.Op {
+		p.rsOcc--
+		p.execCount--
+		if u.d.load || u.d.in.Op == isa.OpRet {
+			p.memCount--
+		}
+		switch u.d.in.Op {
 		case isa.OpJcc:
-			actual := u.in.Cond.Eval(u.flagsOut)
+			actual := u.d.in.Cond.Eval(u.flagsOut)
 			misp := actual != u.predTaken
 			p.res.BPU.UpdateCond(u.pc, actual, misp)
 			if misp {
 				p.res.PMU.Inc(pmu.BrMispExecAllBranches)
 				next := u.idx + 1
 				if actual {
-					next = u.in.Target
+					next = u.d.in.Target
 				}
 				p.recoverBranch(pos, next)
-				return // ROB truncated; stop scanning
+				// ROB truncated; stop scanning. Survivors' deadlines were
+				// not all observed, so force a rescan next cycle.
+				p.minDoneAt = p.cycle
+				return
 			}
 			p.res.PMU.Inc(pmu.BpL1BtbCorrect)
 		case isa.OpRet:
@@ -522,16 +636,19 @@ func (p *Pipeline) complete() {
 				p.res.PMU.Inc(pmu.BrMispExecIndirect)
 				p.res.PMU.Inc(pmu.BrMispExecAllBranches)
 				p.recoverBranch(pos, actualIdx)
+				p.minDoneAt = p.cycle
 				return
 			}
 			p.res.PMU.Inc(pmu.BpL1BtbCorrect)
 		}
 	}
+	p.minDoneAt = newMin
 }
 
 func (p *Pipeline) allOlderDone(pos int) bool {
 	for i := 0; i < pos; i++ {
-		if !p.rob[i].done || p.cycle < p.rob[i].doneAt {
+		v := p.rob.At(i)
+		if !v.done || p.cycle < v.doneAt {
 			return false
 		}
 	}
@@ -543,11 +660,9 @@ func (p *Pipeline) allOlderDone(pos int) bool {
 // squashed in-flight work; a fraction of it becomes "debt" charged to a
 // later exception flush in the same transient window (see raiseFault).
 func (p *Pipeline) recoverBranch(pos int, correctIdx int) {
-	squashed := len(p.rob) - pos - 1 + len(p.idq)
-	p.emitTraceSquashed(p.rob[pos+1:])
-	p.emitTraceSquashed(p.idq)
-	p.rob = p.rob[:pos+1]
-	p.idq = p.idq[:0]
+	squashed := p.rob.Len() - pos - 1 + p.idq.Len()
+	p.squashFrom(&p.rob, pos+1)
+	p.squashFrom(&p.idq, 0)
 	p.blockedOnRet = nil
 	p.fetchIdx = correctIdx
 	p.haveFetchLine = false
@@ -571,44 +686,59 @@ func (p *Pipeline) recoverBranch(pos int, correctIdx int) {
 	// TET-ZBL mechanism, §4.3.2). A branch independent of the faulting load
 	// (the Fig. 1a covert-channel gadget) leaves the assist running, so its
 	// window stays full length and the recovery debt makes it *longer*.
-	branch := p.rob[pos]
-	for i, v := range p.rob {
+	branch := p.rob.At(pos)
+	for i := 0; i < p.rob.Len(); i++ {
+		v := p.rob.At(i)
 		if v.fault != FaultNone && v.abortable && v.assistAt > p.cycle+cost &&
-			p.derivesFrom(pos, branch, p.rob[i]) {
+			p.derivesFrom(pos, branch, v) {
 			v.assistAt = p.cycle + cost + 4
 		}
 	}
 }
 
+// dfItem is one frame of derivesFrom's explicit dataflow walk.
+type dfItem struct {
+	pos int
+	v   *uop
+}
+
 // derivesFrom reports whether u (at ROB position pos) transitively consumed
-// target's result through register or flags dataflow.
+// target's result through register or flags dataflow. Visited uops are
+// stamped with a per-walk generation (markGen) and the worklist reuses the
+// pipeline's scratch stack, so the walk allocates nothing in steady state.
 func (p *Pipeline) derivesFrom(pos int, u, target *uop) bool {
 	if u == target {
 		return true
 	}
-	seen := make(map[*uop]bool)
-	var walk func(pos int, v *uop) bool
-	walk = func(pos int, v *uop) bool {
+	p.markGen++
+	gen := p.markGen
+	stack := append(p.dfStack[:0], dfItem{pos, u})
+	found := false
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := it.v
 		if v == target {
-			return true
+			found = true
+			break
 		}
-		if seen[v] {
-			return false
+		if v.mark == gen {
+			continue
 		}
-		seen[v] = true
-		if v.in.ReadsFlags() {
-			if i := p.flagsProducerIdx(pos); i >= 0 && walk(i, p.rob[i]) {
-				return true
+		v.mark = gen
+		if v.d.readsFlags {
+			if i := p.flagsProducerIdx(it.pos); i >= 0 {
+				stack = append(stack, dfItem{i, p.rob.At(i)})
 			}
 		}
-		for _, r := range v.in.SrcRegs() {
-			if i := p.producerIdx(pos, r); i >= 0 && walk(i, p.rob[i]) {
-				return true
+		for _, r := range v.d.srcs[:v.d.nsrc] {
+			if i := p.producerIdx(it.pos, r); i >= 0 {
+				stack = append(stack, dfItem{i, p.rob.At(i)})
 			}
 		}
-		return false
 	}
-	return walk(pos, u)
+	p.dfStack = stack[:0]
+	return found
 }
 
 // producerIdx returns the ROB index of the youngest older producer of r
@@ -618,7 +748,7 @@ func (p *Pipeline) producerIdx(pos int, r isa.Reg) int {
 		return -1
 	}
 	for i := pos - 1; i >= 0; i-- {
-		if p.rob[i].in.DstReg() == r {
+		if p.rob.At(i).d.dst == r {
 			return i
 		}
 	}
@@ -628,7 +758,7 @@ func (p *Pipeline) producerIdx(pos int, r isa.Reg) int {
 // flagsProducerIdx is producerIdx for RFLAGS.
 func (p *Pipeline) flagsProducerIdx(pos int) int {
 	for i := pos - 1; i >= 0; i-- {
-		if p.rob[i].in.WritesFlags() {
+		if p.rob.At(i).d.writesFlags {
 			return i
 		}
 	}

@@ -71,24 +71,23 @@ func (p *Pipeline) fetch() {
 	p.res.PMU.Inc(pmu.IcFw32)
 
 	fetched := 0
-	for fetched < width && len(p.idq) < p.cfg.IDQSize {
+	for fetched < width && p.idq.Len() < p.cfg.IDQSize {
 		if p.fetchIdx < 0 || p.fetchIdx >= p.prog.Len() {
 			break
 		}
-		pc := p.prog.VA(p.fetchIdx)
+		d := &p.dec.insts[p.fetchIdx]
+		pc := d.pc
 		if !p.fetchLineReady(pc) {
 			break // ITLB/icache stall installed
 		}
-		in := p.prog.At(p.fetchIdx)
-		u := &uop{
-			seq:      p.seq,
-			idx:      p.fetchIdx,
-			in:       in,
-			pc:       pc,
-			dsb:      useDSB,
-			hitLevel: -1,
-			fetchAt:  p.cycle,
-		}
+		u := p.allocUop()
+		u.seq = p.seq
+		u.idx = p.fetchIdx
+		u.d = d
+		u.pc = pc
+		u.dsb = useDSB
+		u.hitLevel = -1
+		u.fetchAt = p.cycle
 		p.seq++
 		if !useDSB {
 			p.dsb.insert(pc &^ (mem.LineSize - 1))
@@ -96,7 +95,7 @@ func (p *Pipeline) fetch() {
 				p.miteLeft--
 			}
 		}
-		p.idq = append(p.idq, u)
+		p.idq.PushBack(u)
 		fetched++
 		if !p.predictNext(u) {
 			break // fetch redirected or blocked
@@ -125,7 +124,7 @@ func (p *Pipeline) fetchLineReady(pc uint64) bool {
 	} else {
 		w := p.res.AS.WalkVA(pc)
 		var walkLat uint64
-		for _, pteAddr := range w.PTEReads {
+		for _, pteAddr := range w.PTEReads() {
 			lat, _ := p.res.Hier.AccessData(pteAddr)
 			walkLat += lat + p.cfg.WalkLevelLat
 			p.res.PMU.Inc(pmu.PageWalkerLoads)
@@ -160,13 +159,13 @@ func (p *Pipeline) fetchLineReady(pc uint64) bool {
 // predictNext steers fetch after u; it returns false when fetch must stop
 // this cycle (taken branch, blocked ret, or halt).
 func (p *Pipeline) predictNext(u *uop) bool {
-	switch u.in.Op {
+	switch u.d.in.Op {
 	case isa.OpJmp:
-		p.fetchIdx = u.in.Target
+		p.fetchIdx = u.d.in.Target
 		return false
 	case isa.OpCall:
 		p.res.BPU.PushRSB(p.prog.VA(u.idx + 1))
-		p.fetchIdx = u.in.Target
+		p.fetchIdx = u.d.in.Target
 		return false
 	case isa.OpRet:
 		if target, ok := p.res.BPU.PopRSB(); ok {
@@ -184,7 +183,7 @@ func (p *Pipeline) predictNext(u *uop) bool {
 	case isa.OpJcc:
 		u.predTaken = p.res.BPU.PredictCond(u.pc)
 		if u.predTaken {
-			p.fetchIdx = u.in.Target
+			p.fetchIdx = u.d.in.Target
 			return false
 		}
 		p.fetchIdx = u.idx + 1

@@ -43,8 +43,31 @@ type Pipeline struct {
 	cycle uint64
 	seq   uint64
 
-	rob []*uop
-	idq []*uop
+	rob uopRing
+	idq uopRing
+
+	// Allocation-free machinery: the uop arena, the per-program decode memo
+	// (survives Reset), the decode of the armed program, and scratch for the
+	// derivesFrom dataflow walk.
+	freeUops []*uop
+	decoded  map[*isa.Program]*decProgram
+	dec      *decProgram
+	dfStack  []dfItem
+	markGen  uint64
+
+	// Incrementally maintained ROB aggregates, so the per-cycle bookkeeping
+	// (issue gating, PMU activity events, completion polling) never rescans
+	// the ROB. Invariants: rsOcc = uops with !done; fencesPending = fence
+	// uops with !done; execCount = uops with started && !done; memCount =
+	// the load/ret subset of execCount; minDoneAt = the earliest doneAt among
+	// started && !done uops (stale-low is harmless: the completion scan
+	// recomputes it); lastStartAt = the most recent cycle any uop began.
+	rsOcc         int
+	fencesPending int
+	execCount     int
+	memCount      int
+	minDoneAt     uint64
+	lastStartAt   uint64
 
 	// Frontend state.
 	fetchIdx        int // next instruction index; -1 = fetch stopped
@@ -89,11 +112,15 @@ func New(cfg Config, res Resources) (*Pipeline, error) {
 		return nil, fmt.Errorf("pipeline: invalid widths in config %+v", cfg)
 	}
 	return &Pipeline{
-		cfg:        cfg,
-		res:        res,
-		dsb:        newDSBCache(cfg.DSBLines),
-		sigHandler: -1,
-		fetchIdx:   -1,
+		cfg:         cfg,
+		res:         res,
+		dsb:         newDSBCache(cfg.DSBLines),
+		rob:         newUopRing(cfg.ROBSize),
+		idq:         newUopRing(cfg.IDQSize),
+		decoded:     make(map[*isa.Program]*decProgram),
+		sigHandler:  -1,
+		fetchIdx:    -1,
+		lastStartAt: ^uint64(0), // no uop has started yet
 	}, nil
 }
 
@@ -154,8 +181,9 @@ type Result struct {
 // left there.
 func (p *Pipeline) BeginExec(prog *isa.Program, maxCycles uint64) {
 	p.prog = prog
-	p.rob = p.rob[:0]
-	p.idq = p.idq[:0]
+	p.dec = p.decodeProgram(prog)
+	p.recycleAll(&p.rob)
+	p.recycleAll(&p.idq)
 	p.fetchIdx = 0
 	p.blockedOnRet = nil
 	p.haveFetchLine = false
@@ -213,24 +241,26 @@ func (p *Pipeline) Exec(prog *isa.Program, maxCycles uint64) (Result, error) {
 	return p.ExecResult(), err
 }
 
-// step advances the core by one cycle (optionally fast-forwarding through a
-// provably idle stall span when the core is not co-scheduled).
+// step advances the core by one cycle (optionally skipping ahead through a
+// provably idle span when the core is not co-scheduled).
 func (p *Pipeline) step(allowFF bool) error {
 	if p.cycle < p.frozenUntil {
 		// Externally stalled (SMT sibling flush): nothing moves.
-		p.countCycle()
-		p.cycle++
+		if allowFF {
+			p.skipFrozen()
+		} else {
+			p.countCycle()
+			p.cycle++
+		}
+		return nil
+	}
+	if allowFF && p.skipIdle() {
 		return nil
 	}
 	if err := p.retire(); err != nil {
 		return err
 	}
 	if !p.halted {
-		if allowFF && len(p.rob) == 0 && len(p.idq) == 0 && p.blockedOnRet == nil &&
-			p.cycle < p.fetchStallUntil {
-			p.fastForward(p.fetchStallUntil)
-			return nil
-		}
 		p.complete()
 		p.execute()
 		p.issue()
@@ -241,30 +271,206 @@ func (p *Pipeline) step(allowFF bool) error {
 	return nil
 }
 
-// fastForward advances an empty, fetch-stalled machine to the target cycle
-// in one jump, bulk-updating the per-cycle PMU events. With no uops anywhere
-// in flight and fetch stalled, no state transition can occur before the
-// stall expires, so this is observationally identical to stepping.
-func (p *Pipeline) fastForward(until uint64) {
-	delta := until - p.cycle
-	pm := p.res.PMU
-	pm.Add(pmu.CyclesTotal, delta)
-	pm.Add(pmu.UopsIssuedStallCycles, delta)
-	pm.Add(pmu.UopsExecutedStallCycles, delta)
-	pm.Add(pmu.UopsExecutedCoreCyclesNone, delta)
-	pm.Add(pmu.CycleActivityStallsTotal, delta)
-	pm.Add(pmu.RsEventsEmptyCycles, delta)
-	pm.Add(pmu.DeDisUopQueueEmptyDi0, delta)
+// skipIdle advances the machine to the next cycle at which any stage can
+// change state — the event horizon — in one jump, bulk-applying the per-cycle
+// PMU events that per-cycle stepping would have counted. It reports whether
+// it advanced; false means the current cycle must be stepped normally.
+//
+// The horizon is the earliest of: the execution budget's end, the expiry of a
+// fetch stall (when fetch is otherwise able to run), a recovery or resteer
+// regime boundary (the per-cycle counter predicates flip there), the head
+// fault's assist completion, and the completion time of any in-flight uop.
+// Within the span the machine provably does nothing: fetch is gated, nothing
+// issues, starts, completes, or retires, so every per-cycle counter predicate
+// is constant and the bulk update is bit-identical to stepping.
+func (p *Pipeline) skipIdle() bool {
+	if p.halted {
+		return false
+	}
+	horizon := p.execStart + p.execBudget
+	if horizon <= p.cycle {
+		return false
+	}
+	// Fetch runs (with PMU and DSB-LRU side effects) whenever it is armed and
+	// unstalled — even into a full IDQ — so an active frontend forces a step.
+	if p.fetchIdx >= 0 && p.blockedOnRet == nil && p.fetchIdx < p.prog.Len() {
+		if p.cycle >= p.fetchStallUntil {
+			return false
+		}
+		horizon = minU64(horizon, p.fetchStallUntil)
+	}
+	// Counter regime boundaries.
 	if p.recoveryUntil > p.cycle {
-		span := minU64(p.recoveryUntil, until) - p.cycle
+		horizon = minU64(horizon, p.recoveryUntil)
+	}
+	if p.resteerUntil > p.cycle {
+		horizon = minU64(horizon, p.resteerUntil)
+	}
+
+	// Retirement: a ready head retires now; a faulting head either waits for
+	// its assist (horizon event), stalls behind a draining recovery (counted
+	// below), or raises its machine clear now.
+	retireStall := false
+	if p.rob.Len() > 0 {
+		u := p.rob.At(0)
+		if u.fault != FaultNone {
+			switch {
+			case p.cycle < u.assistAt:
+				horizon = minU64(horizon, u.assistAt)
+			case p.cycle < p.recoveryUntil:
+				retireStall = true
+			default:
+				return false
+			}
+		} else if u.done {
+			return false
+		}
+	}
+
+	// Execution and completion: any uop that can complete or start this cycle
+	// forces a step; in-flight completions bound the horizon.
+	execBusy, memBusy, fencePending := false, false, false
+	rsOcc := 0
+	olderAllDone := true
+	for i := 0; i < p.rob.Len(); i++ {
+		u := p.rob.At(i)
+		if !u.done {
+			rsOcc++
+		}
+		if u.d.fence {
+			if !u.done {
+				if olderAllDone {
+					return false
+				}
+				fencePending = true
+				olderAllDone = false
+			}
+			continue
+		}
+		if u.started {
+			if !u.done {
+				if u.doneAt <= p.cycle {
+					return false
+				}
+				horizon = minU64(horizon, u.doneAt)
+				execBusy = true
+				if u.d.load || u.d.in.Op == isa.OpRet {
+					memBusy = true
+				}
+				olderAllDone = false
+			}
+			continue
+		}
+		// Unstarted: a uop whose operands are ready would start (or, for
+		// memory ops, at least re-walk translation) this cycle.
+		if p.wouldStart(i, u) {
+			return false
+		}
+		olderAllDone = false
+	}
+
+	// Issue: mirrors issue()'s blocked paths (recovery, ROB/RS full, fence)
+	// and their ResourceStallsAny accounting; anything issuable forces a step.
+	issueRSA := false
+	if p.idq.Len() > 0 {
+		if p.cycle < p.recoveryUntil {
+			issueRSA = true
+		} else if p.rob.Len() >= p.cfg.ROBSize || rsOcc >= p.cfg.RSSize {
+			issueRSA = true
+		} else if !fencePending {
+			return false
+		}
+	}
+
+	span := horizon - p.cycle
+	pm := p.res.PMU
+	pm.Add(pmu.CyclesTotal, span)
+	pm.Add(pmu.UopsIssuedStallCycles, span)
+	if retireStall {
+		pm.Add(pmu.ResourceStallsAny, span)
+		pm.Add(pmu.DeDisDispatchTokenStalls2Retire, span)
+	}
+	if issueRSA {
+		pm.Add(pmu.ResourceStallsAny, span)
+	}
+	if !execBusy {
+		pm.Add(pmu.UopsExecutedStallCycles, span)
+		pm.Add(pmu.UopsExecutedCoreCyclesNone, span)
+	}
+	pm.Add(pmu.CycleActivityStallsTotal, span)
+	if memBusy {
+		pm.Add(pmu.CycleActivityCyclesMemAny, span)
+	}
+	if rsOcc == 0 {
+		pm.Add(pmu.RsEventsEmptyCycles, span)
+	}
+	if p.idq.Len() == 0 {
+		pm.Add(pmu.DeDisUopQueueEmptyDi0, span)
+	}
+	if p.cycle < p.recoveryUntil {
 		pm.Add(pmu.IntMiscRecoveryCycles, span)
 		pm.Add(pmu.IntMiscRecoveryCyclesAny, span)
 		pm.Add(pmu.DeDisDispatchTokenStalls2Retire, span)
 	}
-	if p.resteerUntil > p.cycle {
-		pm.Add(pmu.IntMiscClearResteerCycles, minU64(p.resteerUntil, until)-p.cycle)
+	if p.cycle < p.resteerUntil {
+		pm.Add(pmu.IntMiscClearResteerCycles, span)
 	}
-	p.cycle = until
+	p.cycle = horizon
+	return true
+}
+
+// skipFrozen advances an externally frozen core (InjectStall) to the earlier
+// of the freeze's end and the budget's end in one jump, bulk-applying the
+// per-cycle counters. Nothing moves while frozen, so every countCycle
+// predicate except the recovery/resteer regimes is constant.
+func (p *Pipeline) skipFrozen() {
+	horizon := minU64(p.frozenUntil, p.execStart+p.execBudget)
+	if horizon <= p.cycle {
+		p.countCycle()
+		p.cycle++
+		return
+	}
+	span := horizon - p.cycle
+	execBusy, memBusy := false, false
+	rsOcc := 0
+	for i := 0; i < p.rob.Len(); i++ {
+		u := p.rob.At(i)
+		if !u.done {
+			rsOcc++
+		}
+		if u.executing(p.cycle) {
+			execBusy = true
+			if u.d.load || u.d.in.Op == isa.OpRet {
+				memBusy = true
+			}
+		}
+	}
+	pm := p.res.PMU
+	pm.Add(pmu.CyclesTotal, span)
+	if !execBusy {
+		pm.Add(pmu.UopsExecutedStallCycles, span)
+		pm.Add(pmu.UopsExecutedCoreCyclesNone, span)
+	}
+	pm.Add(pmu.CycleActivityStallsTotal, span)
+	if memBusy {
+		pm.Add(pmu.CycleActivityCyclesMemAny, span)
+	}
+	if rsOcc == 0 {
+		pm.Add(pmu.RsEventsEmptyCycles, span)
+	}
+	if p.idq.Len() == 0 {
+		pm.Add(pmu.DeDisUopQueueEmptyDi0, span)
+	}
+	if p.recoveryUntil > p.cycle {
+		rec := minU64(p.recoveryUntil, horizon) - p.cycle
+		pm.Add(pmu.IntMiscRecoveryCycles, rec)
+		pm.Add(pmu.IntMiscRecoveryCyclesAny, rec)
+		pm.Add(pmu.DeDisDispatchTokenStalls2Retire, rec)
+	}
+	if p.resteerUntil > p.cycle {
+		pm.Add(pmu.IntMiscClearResteerCycles, minU64(p.resteerUntil, horizon)-p.cycle)
+	}
+	p.cycle = horizon
 }
 
 func minU64(a, b uint64) uint64 {
@@ -277,26 +483,25 @@ func minU64(a, b uint64) uint64 {
 // issue moves uops from the IDQ into the ROB/RS.
 func (p *Pipeline) issue() {
 	issued := 0
-	blocked := false
-	for issued < p.cfg.IssueWidth && len(p.idq) > 0 {
+	for issued < p.cfg.IssueWidth && p.idq.Len() > 0 {
 		if p.cycle < p.recoveryUntil { // allocator busy recovering
 			p.res.PMU.Inc(pmu.ResourceStallsAny)
-			blocked = true
 			break
 		}
-		if len(p.rob) >= p.cfg.ROBSize || p.rsOccupancy() >= p.cfg.RSSize {
+		if p.rob.Len() >= p.cfg.ROBSize || p.rsOcc >= p.cfg.RSSize {
 			p.res.PMU.Inc(pmu.ResourceStallsAny)
-			blocked = true
 			break
 		}
-		if p.fenceBlocksIssue() {
-			blocked = true
+		if p.fencesPending > 0 { // LFENCE semantics: issue stalls behind it
 			break
 		}
-		u := p.idq[0]
-		p.idq = p.idq[1:]
+		u := p.idq.PopFront()
 		u.issueAt = p.cycle
-		p.rob = append(p.rob, u)
+		p.rob.PushBack(u)
+		p.rsOcc++
+		if u.d.fence {
+			p.fencesPending++
+		}
 		p.res.PMU.Inc(pmu.UopsIssuedAny)
 		// Delivery-source events count uops actually handed to the backend;
 		// uops discarded from the IDQ by a squash never count.
@@ -305,8 +510,8 @@ func (p *Pipeline) issue() {
 		} else {
 			p.res.PMU.Inc(pmu.IdqMsMiteUops)
 		}
-		if u.in.IsFence() || u.in.Op == isa.OpXbegin || u.in.Op == isa.OpXend ||
-			u.in.Op == isa.OpRdtsc {
+		op := u.d.in.Op
+		if u.d.fence || op == isa.OpXbegin || op == isa.OpXend || op == isa.OpRdtsc {
 			p.res.PMU.Inc(pmu.IdqMsUops) // microcode-sequenced
 			if u.dsb {
 				p.res.PMU.Inc(pmu.IdqMsDsbCycles)
@@ -314,39 +519,16 @@ func (p *Pipeline) issue() {
 		}
 		issued++
 	}
-	_ = blocked
 	if issued == 0 {
 		p.res.PMU.Inc(pmu.UopsIssuedStallCycles)
 	}
 }
 
-// fenceBlocksIssue reports whether an unfinished fence sits in the ROB
-// (LFENCE semantics: younger uops do not issue until it completes).
-func (p *Pipeline) fenceBlocksIssue() bool {
-	for _, u := range p.rob {
-		if u.isFence() && !u.done {
-			return true
-		}
-	}
-	return false
-}
-
-// rsOccupancy counts uops holding reservation-station entries.
-func (p *Pipeline) rsOccupancy() int {
-	n := 0
-	for _, u := range p.rob {
-		if !u.done {
-			n++
-		}
-	}
-	return n
-}
-
 // retire commits up to RetireWidth uops in order, raising any fault at the
 // head.
 func (p *Pipeline) retire() error {
-	for n := 0; n < p.cfg.RetireWidth && len(p.rob) > 0; n++ {
-		u := p.rob[0]
+	for n := 0; n < p.cfg.RetireWidth && p.rob.Len() > 0; n++ {
+		u := p.rob.At(0)
 		if u.fault != FaultNone {
 			if p.cycle < u.assistAt {
 				return nil // fault still processing
@@ -365,8 +547,10 @@ func (p *Pipeline) retire() error {
 		}
 		p.commit(u)
 		p.emitTrace(u, true)
-		p.rob = p.rob[1:]
-		if p.halted {
+		p.rob.PopFront()
+		halted := p.halted
+		p.recycleUop(u)
+		if halted {
 			return nil
 		}
 	}
@@ -381,16 +565,16 @@ func (p *Pipeline) countRetireStall() {
 func (p *Pipeline) commit(u *uop) {
 	p.res.PMU.Inc(pmu.InstRetired)
 	p.res.PMU.Inc(pmu.UopsRetiredAll)
-	if dst := u.in.DstReg(); dst != isa.RZERO {
+	if dst := u.d.dst; dst != isa.RZERO {
 		p.regs[dst] = u.result
 	}
-	if u.in.WritesFlags() {
+	if u.d.writesFlags {
 		p.flags = u.flagsOut
 	}
-	switch u.in.Op {
+	switch u.d.in.Op {
 	case isa.OpStore:
 		if u.translated {
-			p.res.Hier.Phys.Write(u.memPA, u.in.Size, u.storeData)
+			p.res.Hier.Phys.Write(u.memPA, u.d.in.Size, u.storeData)
 			p.res.Hier.AccessData(u.memPA)
 		}
 	case isa.OpCall:
@@ -410,7 +594,7 @@ func (p *Pipeline) commit(u *uop) {
 		p.inTxn = true
 		p.txnRegs = p.regs
 		p.txnFlags = p.flags
-		p.txnAbortIdx = u.in.Target
+		p.txnAbortIdx = u.d.in.Target
 	case isa.OpXend:
 		p.inTxn = false
 	case isa.OpLoad:
@@ -434,7 +618,7 @@ func (p *Pipeline) commit(u *uop) {
 func (p *Pipeline) raiseFault(u *uop) error {
 	p.faults++
 	p.res.PMU.Inc(pmu.MachineClearsCount)
-	occupancy := uint64(len(p.rob)) + uint64(len(p.idq))
+	occupancy := uint64(p.rob.Len()) + uint64(p.idq.Len())
 	cost := p.cfg.ExcFlushBase + uint64(p.cfg.ExcFlushPerUop*float64(occupancy)) + p.windowDebt
 	if p.windowMisp {
 		// The clear's frontend redirect replays through stale indirect
@@ -462,12 +646,11 @@ func (p *Pipeline) raiseFault(u *uop) error {
 	}
 
 	p.emitTrace(u, false)
-	if len(p.rob) > 1 {
-		p.emitTraceSquashed(p.rob[1:])
-	}
-	p.emitTraceSquashed(p.idq)
-	p.rob = p.rob[:0]
-	p.idq = p.idq[:0]
+	p.squashFrom(&p.rob, 1)
+	p.squashFrom(&p.idq, 0)
+	p.rob.PopFront()
+	p.noteDrop(u)
+	p.recycleUop(u)
 	p.blockedOnRet = nil
 	p.fetchIdx = redirect
 	p.haveFetchLine = false
@@ -482,39 +665,27 @@ func (p *Pipeline) raiseFault(u *uop) error {
 	return nil
 }
 
-// countCycle updates the per-cycle PMU events.
+// countCycle updates the per-cycle PMU events from the incrementally
+// maintained ROB aggregates (every uop started this cycle has
+// startAt == cycle, so executing() collapses to started && !done here).
 func (p *Pipeline) countCycle() {
 	pm := p.res.PMU
 	pm.Inc(pmu.CyclesTotal)
 
-	execBusy := false
-	memBusy := false
-	startedNow := false
-	for _, u := range p.rob {
-		if u.executing(p.cycle) {
-			execBusy = true
-			if u.isLoad() || u.in.Op == isa.OpRet {
-				memBusy = true
-			}
-		}
-		if u.started && u.startAt == p.cycle {
-			startedNow = true
-		}
-	}
-	if !execBusy {
+	if p.execCount == 0 {
 		pm.Inc(pmu.UopsExecutedStallCycles)
 		pm.Inc(pmu.UopsExecutedCoreCyclesNone)
 	}
-	if !startedNow {
+	if p.lastStartAt != p.cycle {
 		pm.Inc(pmu.CycleActivityStallsTotal)
 	}
-	if memBusy {
+	if p.memCount > 0 {
 		pm.Inc(pmu.CycleActivityCyclesMemAny)
 	}
-	if p.rsOccupancy() == 0 {
+	if p.rsOcc == 0 {
 		pm.Inc(pmu.RsEventsEmptyCycles)
 	}
-	if len(p.idq) == 0 {
+	if p.idq.Len() == 0 {
 		pm.Inc(pmu.DeDisUopQueueEmptyDi0)
 	}
 	if p.cycle < p.recoveryUntil {
@@ -534,4 +705,46 @@ func maxU64(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// Reset returns the core to its power-on state against a fresh address space:
+// registers, the cycle counter, the frontend (including the DSB), and all
+// recovery/transaction state are cleared exactly as New leaves them. The uop
+// arena and the per-program decode memo are retained — they are invisible to
+// the simulation — so a reset machine re-runs programs without re-allocating.
+// Shared resources (caches, TLBs, BPU, PMU) are reset by their owner.
+func (p *Pipeline) Reset(as *paging.AddressSpace) {
+	p.recycleAll(&p.rob)
+	p.recycleAll(&p.idq)
+	p.prog = nil
+	p.dec = nil
+	p.regs = [isa.NumRegs]uint64{}
+	p.flags = isa.Flags{}
+	p.cycle = 0
+	p.seq = 0
+	p.fetchIdx = -1
+	p.fetchStallUntil = 0
+	p.resteerUntil = 0
+	p.miteLeft = 0
+	clear(p.dsb.lines)
+	p.dsb.tick = 0
+	p.blockedOnRet = nil
+	p.lastFetchLine = 0
+	p.haveFetchLine = false
+	p.recoveryUntil = 0
+	p.windowDebt = 0
+	p.windowMisp = false
+	p.inTxn = false
+	p.txnRegs = [isa.NumRegs]uint64{}
+	p.txnFlags = isa.Flags{}
+	p.txnAbortIdx = 0
+	p.sigHandler = -1
+	p.halted = false
+	p.faults = 0
+	p.execStart = 0
+	p.execBudget = 0
+	p.frozenUntil = 0
+	p.clears = p.clears[:0]
+	p.tracer = nil
+	p.res.AS = as
 }

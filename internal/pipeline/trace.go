@@ -35,7 +35,7 @@ func (p *Pipeline) emitTrace(u *uop, retired bool) {
 		Seq:     u.seq,
 		Idx:     u.idx,
 		PC:      u.pc,
-		Text:    u.in.String(),
+		Text:    u.d.in.String(),
 		FetchAt: u.fetchAt,
 		IssueAt: u.issueAt,
 		EndAt:   p.cycle,
@@ -52,14 +52,4 @@ func (p *Pipeline) emitTrace(u *uop, retired bool) {
 		rec.Fault = u.fault.String()
 	}
 	p.tracer(rec)
-}
-
-// emitTraceRange reports every uop in robs as squashed.
-func (p *Pipeline) emitTraceSquashed(uops []*uop) {
-	if p.tracer == nil {
-		return
-	}
-	for _, u := range uops {
-		p.emitTrace(u, false)
-	}
 }

@@ -23,13 +23,15 @@ func (f FaultKind) String() string {
 	return "none"
 }
 
-// uop is one in-flight micro-operation.
+// uop is one in-flight micro-operation. Its static facts live in the shared
+// decInst (d); the uop itself carries only dynamic state, so a recycled uop
+// is re-armed by zeroing it and pointing d at the fetched instruction slot.
 type uop struct {
 	seq uint64
-	idx int // instruction index in the program
-	in  isa.Inst
-	pc  uint64 // code virtual address
-	dsb bool   // delivered from the DSB (vs MITE)
+	idx int      // instruction index in the program
+	d   *decInst // decoded instruction (shared, read-only)
+	pc  uint64   // code virtual address
+	dsb bool     // delivered from the DSB (vs MITE)
 
 	// Branch prediction state captured at fetch.
 	predTaken  bool
@@ -60,11 +62,13 @@ type uop struct {
 	storeData uint64 // value written to memory at commit (store/call uops)
 
 	waitingFlush bool // load blocked by an older in-flight clflush
+
+	mark uint64 // derivesFrom visit stamp (see Pipeline.markGen)
 }
 
-func (u *uop) isLoad() bool   { return u.in.Op == isa.OpLoad }
-func (u *uop) isBranch() bool { return u.in.IsBranch() }
-func (u *uop) isFence() bool  { return u.in.IsFence() }
+func (u *uop) isLoad() bool   { return u.d.load }
+func (u *uop) isBranch() bool { return u.d.branch }
+func (u *uop) isFence() bool  { return u.d.fence }
 
 // executing reports whether the uop occupies an execution resource at cycle c.
 func (u *uop) executing(c uint64) bool {

@@ -93,6 +93,13 @@ func (a *assoc) flush(keepGlobal bool) {
 	}
 }
 
+func (a *assoc) reset() {
+	for i := range a.ents {
+		a.ents[i] = entry{}
+	}
+	a.tick = 0
+}
+
 func (a *assoc) countValid() int {
 	n := 0
 	for i := range a.ents {
@@ -200,6 +207,17 @@ func (t *TLB) Flush(keepGlobal bool) {
 // are 4 KiB).
 func (t *TLB) Flush4K() {
 	t.small.flush(false)
+}
+
+// Reset restores the TLB to its freshly-constructed state: both partitions
+// emptied, LRU ticks rewound, and statistics cleared (machine reuse). Unlike
+// Flush, this also rewinds the replacement state, which LRU victim selection
+// depends on.
+func (t *TLB) Reset() {
+	t.small.reset()
+	t.large.reset()
+	t.hits = 0
+	t.misses = 0
 }
 
 // ValidEntries returns the number of live entries across both partitions.
