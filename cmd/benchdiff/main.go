@@ -45,7 +45,15 @@ func parseBench(path string) (samples, []string, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
+		// go test appends "-<GOMAXPROCS>" to every benchmark name; strip it
+		// so runs from machines with different core counts still pair up
+		// (an unpaired name is a hard error below, not a silent skip).
 		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
 		if _, ok := out[name]; !ok {
 			out[name] = map[string][]float64{}
 			order = append(order, name)
@@ -82,15 +90,37 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "fail when the gate metric regresses by more than this percent (0: report only)")
 	flag.Parse()
 
-	base, _, err := parseBench(*basePath)
+	base, baseOrder, err := parseBench(*basePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline %s: %v (regenerate with: go test -run '^$' -bench . -benchtime 1x -count 5 . > %s)\n", *basePath, err, *basePath)
 		os.Exit(2)
 	}
 	cur, order, err := parseBench(*newPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		fmt.Fprintf(os.Stderr, "benchdiff: new results %s: %v\n", *newPath, err)
 		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline %s contains no benchmark lines\n", *basePath)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: new results %s contain no benchmark lines\n", *newPath)
+		os.Exit(2)
+	}
+	// A name present on only one side would silently vanish from the diff —
+	// exactly how a renamed benchmark escapes the regression gate — so it is
+	// an error, not a skip.
+	var onlyBase, onlyNew []string
+	for _, name := range baseOrder {
+		if _, ok := cur[name]; !ok {
+			onlyBase = append(onlyBase, name)
+		}
+	}
+	for _, name := range order {
+		if _, ok := base[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
 	}
 
 	fmt.Printf("| benchmark | metric | base | new | delta |\n")
@@ -123,6 +153,11 @@ func main() {
 					name, u, pct, *threshold)
 			}
 		}
+	}
+	if len(onlyBase) > 0 || len(onlyNew) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: benchmark sets differ: only in %s: %v; only in %s: %v (update the baseline)\n",
+			*basePath, onlyBase, *newPath, onlyNew)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

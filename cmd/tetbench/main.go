@@ -8,9 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
+	"whisper/internal/cli"
 	"whisper/internal/experiments"
 	"whisper/internal/obs"
 )
@@ -30,8 +29,9 @@ func main() {
 	flag.Parse()
 
 	// Ctrl-C cancels the scheduler pools: pending cells are dropped, running
-	// ones drain, and the run exits with the context error.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// ones drain, and the run exits with the context error. A second Ctrl-C
+	// skips the drain and exits immediately.
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	// Each experiment crosses several simulated machines, so tetbench records
@@ -114,22 +114,22 @@ func main() {
 		fmt.Println()
 		return nil
 	})
-	run("table3", func() error {
-		scenes, err := experiments.Table3(ex, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderTable3(scenes))
-		return nil
-	})
-	run("fig1b", func() error {
-		r, err := experiments.Fig1b(ex, 8, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(r.Render())
-		return nil
-	})
+	// The generic sweeps run through the same registry the whisperd daemon
+	// serves (experiments.RunSweep), so the CLI and a daemon response render
+	// the same bytes by construction.
+	runSweep := func(name string, p experiments.SweepParams) {
+		run(name, func() error {
+			sr, err := experiments.RunSweep(ex, name, p)
+			if err != nil {
+				return err
+			}
+			fmt.Println(sr.Rendered)
+			return nil
+		})
+	}
+
+	runSweep("table3", experiments.SweepParams{Seed: *seed})
+	runSweep("fig1b", experiments.SweepParams{Seed: *seed, Fig1bBatches: 8})
 	run("fig3", func() error {
 		s, err := experiments.Fig3(*seed)
 		if err != nil {
@@ -138,30 +138,9 @@ func main() {
 		fmt.Println(experiments.RenderTable3([]experiments.Table3Scene{s}))
 		return nil
 	})
-	run("fig4", func() error {
-		pts, err := experiments.Fig4(ex, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderFig4(pts))
-		return nil
-	})
-	run("throughput", func() error {
-		rows, err := experiments.Throughput(ex, *bytes, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderThroughput(rows))
-		return nil
-	})
-	run("kaslr", func() error {
-		rows, err := experiments.KASLRSuite(ex, *reps, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderKASLRSuite(rows))
-		return nil
-	})
+	runSweep("fig4", experiments.SweepParams{Seed: *seed})
+	runSweep("throughput", experiments.SweepParams{Seed: *seed, ThroughputBytes: *bytes})
+	runSweep("kaslr", experiments.SweepParams{Seed: *seed, KASLRReps: *reps})
 	run("mitigations", func() error {
 		rows, err := experiments.Mitigations(ex, *seed)
 		if err != nil {
@@ -176,29 +155,8 @@ func main() {
 		fmt.Println()
 		return nil
 	})
-	run("stealth", func() error {
-		rows, err := experiments.Stealth(ex, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderStealth(rows))
-		return nil
-	})
-	run("condfamily", func() error {
-		rows, err := experiments.CondFamily(ex, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderCondFamily(rows))
-		return nil
-	})
-	run("noise", func() error {
-		pts, err := experiments.NoiseSweep(ex, *seed)
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiments.RenderNoiseSweep(pts))
-		return nil
-	})
+	runSweep("stealth", experiments.SweepParams{Seed: *seed})
+	runSweep("condfamily", experiments.SweepParams{Seed: *seed})
+	runSweep("noise", experiments.SweepParams{Seed: *seed})
 	writeOutputs()
 }

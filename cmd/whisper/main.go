@@ -2,7 +2,9 @@
 // prints what leaked. It is the interactive front door to the library; the
 // full evaluation lives in cmd/tetbench. With -all, every attack family runs
 // as one scheduler job on its own machine (seeded per attack name), so the
-// combined output is byte-identical at any -parallel setting.
+// combined output is byte-identical at any -parallel setting. With -remote,
+// the request is served by a whisperd daemon instead of executed locally —
+// same bytes, possibly from the daemon's content-addressed cache.
 package main
 
 import (
@@ -10,28 +12,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"strings"
-	"syscall"
 
+	"whisper/internal/cli"
 	"whisper/internal/core"
 	"whisper/internal/cpu"
+	"whisper/internal/experiments"
 	"whisper/internal/kernel"
 	"whisper/internal/obs"
-	"whisper/internal/sched"
+	"whisper/internal/server"
+	"whisper/internal/server/client"
 	"whisper/internal/smt"
 	"whisper/internal/stats"
 	"whisper/internal/trace"
 )
-
-func modelByName(name string) (cpu.Model, bool) {
-	for _, m := range cpu.AllModels() {
-		if strings.EqualFold(m.Microarch, name) || strings.EqualFold(m.Name, name) {
-			return m, true
-		}
-	}
-	return cpu.Model{}, false
-}
 
 func main() {
 	var (
@@ -45,13 +38,14 @@ func main() {
 		flare    = flag.Bool("flare", false, "enable FLARE")
 		docker   = flag.Bool("docker", false, "run the attacker inside a container")
 		showWin  = flag.Bool("trace", false, "after the attack, render one probe's pipeline diagram")
+		remote   = flag.String("remote", "", "serve the request from the whisperd daemon at this address instead of executing locally")
 
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
 		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
 	)
 	flag.Parse()
 
-	model, ok := modelByName(*cpuName)
+	model, ok := server.ModelByName(*cpuName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "whisper: unknown CPU %q; options:\n", *cpuName)
 		for _, m := range cpu.AllModels() {
@@ -61,16 +55,42 @@ func main() {
 	}
 	cfg := kernel.Config{KASLR: true, KPTI: *kpti, FLARE: *flare, Docker: *docker}
 
+	if *remote != "" {
+		ctx, stop := cli.SignalContext(context.Background())
+		defer stop()
+		req := server.Request{
+			Experiment: "attacks",
+			Seed:       *seed,
+			CPU:        *cpuName,
+			Secret:     *secret,
+			KPTI:       *kpti, FLARE: *flare, Docker: *docker,
+		}
+		if !*all {
+			req.Attacks = []string{*attack}
+		}
+		res, _, cachePath, err := client.New(*remote).Run(ctx, req)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "whisper: served by %s (cache: %s, hash %.12s…)\n", *remote, cachePath, res.Hash)
+		fmt.Print(res.Rendered)
+		return
+	}
+
 	if *all {
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		ctx, stop := cli.SignalContext(context.Background())
 		defer stop()
 		var reg *obs.Registry
 		if *traceOut != "" || *metricsOut != "" {
 			reg = obs.NewRegistry()
 		}
-		if err := runAll(ctx, model, cfg, []byte(*secret), *seed, *parallel, reg); err != nil {
+		fmt.Printf("machine: %s (%s), all attack families, seed %d\n", model.Name, model.Microarch, *seed)
+		ex := experiments.Exec{Ctx: ctx, Parallel: *parallel, Obs: reg}
+		out, err := experiments.AttackSuite(ex, model, cfg, []byte(*secret), *seed, nil)
+		if err != nil {
 			fatal(err)
 		}
+		fmt.Print(out)
 		if *traceOut != "" {
 			if err := reg.WriteTraceFile(*traceOut, nil); err != nil {
 				fatal(err)
@@ -222,175 +242,6 @@ func main() {
 		}
 		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
-}
-
-// runAll runs every attack family as one scheduler job. Each job boots its
-// own machine from the seed sched derives for the attack's name, every
-// printed number is simulated (cycles at the model clock, never wall time),
-// and the blocks print in fixed attack order — so stdout is byte-identical
-// at any -parallel setting, which the CI determinism gate diffs.
-func runAll(ctx context.Context, model cpu.Model, cfg kernel.Config, want []byte, rootSeed int64, parallel int, reg *obs.Registry) error {
-	boot := func(seed int64) (*kernel.Kernel, error) {
-		m, err := cpu.NewMachine(model, seed)
-		if err != nil {
-			return nil, err
-		}
-		return kernel.Boot(m, cfg)
-	}
-	report := func(b *strings.Builder, m *cpu.Machine, name string, res core.LeakResult) {
-		fmt.Fprintf(b, "%s leaked %q\n", name, res.Data)
-		fmt.Fprintf(b, "  throughput %.1f B/s, byte error rate %.1f%%, %d simulated cycles (%.4fs at %.1f GHz)\n",
-			res.Bps, stats.ByteErrorRate(res.Data, want)*100, res.Cycles,
-			m.Seconds(res.Cycles), model.ClockHz/1e9)
-	}
-	jobs := []sched.Job[string]{
-		{Key: "cc", Run: func(_ context.Context, seed int64) (string, error) {
-			k, err := boot(seed)
-			if err != nil {
-				return "", err
-			}
-			a, err := core.NewTETCovertChannel(k)
-			if err != nil {
-				return "", err
-			}
-			res, err := a.Transfer(want)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			report(&b, k.Machine(), "TET covert channel", res)
-			return b.String(), nil
-		}},
-		{Key: "md", Run: func(jctx context.Context, seed int64) (string, error) {
-			// The multi-byte Meltdown leak itself shards across per-byte
-			// machine replicas (core.Farm); its inner pool shares the run's
-			// parallelism budget.
-			f := &core.Farm{
-				Model: model, Config: cfg, RootSeed: seed,
-				Parallel: parallel, Ctx: jctx, Obs: reg,
-			}
-			res, err := f.LeakSecret(want)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			fmt.Fprintf(&b, "TET-Meltdown (replica farm) leaked %q\n", res.Data)
-			fmt.Fprintf(&b, "  critical path %d simulated cycles (%.1f B/s at %.1f GHz), byte error rate %.1f%%\n",
-				res.Cycles, res.Bps, model.ClockHz/1e9, stats.ByteErrorRate(res.Data, want)*100)
-			return b.String(), nil
-		}},
-		{Key: "zbl", Run: func(_ context.Context, seed int64) (string, error) {
-			k, err := boot(seed)
-			if err != nil {
-				return "", err
-			}
-			k.WriteSecret(want)
-			a, err := core.NewTETZombieload(k)
-			if err != nil {
-				return "", err
-			}
-			res, err := a.Leak(len(want))
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			report(&b, k.Machine(), "TET-Zombieload", res)
-			return b.String(), nil
-		}},
-		{Key: "rsb", Run: func(_ context.Context, seed int64) (string, error) {
-			k, err := boot(seed)
-			if err != nil {
-				return "", err
-			}
-			secretVA := uint64(kernel.UserDataBase + 0x500)
-			pa, ok := k.UserAS().Translate(secretVA)
-			if !ok {
-				return "", fmt.Errorf("secret VA unmapped")
-			}
-			k.Machine().Phys.StoreBytes(pa, want)
-			a, err := core.NewTETRSB(k)
-			if err != nil {
-				return "", err
-			}
-			res, err := a.Leak(secretVA, len(want))
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			report(&b, k.Machine(), "TET-Spectre-RSB", res)
-			return b.String(), nil
-		}},
-		{Key: "v1", Run: func(_ context.Context, seed int64) (string, error) {
-			k, err := boot(seed)
-			if err != nil {
-				return "", err
-			}
-			v1, err := core.NewTETSpectreV1(k)
-			if err != nil {
-				return "", err
-			}
-			pa, ok := k.UserAS().Translate(v1.ArrayVA() + v1.ArrayLen())
-			if !ok {
-				return "", fmt.Errorf("V1 secret region unmapped")
-			}
-			k.Machine().Phys.StoreBytes(pa, want)
-			res, err := v1.Leak(v1.ArrayLen(), len(want))
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			report(&b, k.Machine(), "TET-Spectre-V1 (extension)", res)
-			return b.String(), nil
-		}},
-		{Key: "kaslr", Run: func(_ context.Context, seed int64) (string, error) {
-			k, err := boot(seed)
-			if err != nil {
-				return "", err
-			}
-			a, err := core.NewTETKASLR(k)
-			if err != nil {
-				return "", err
-			}
-			res, err := a.Locate()
-			if err != nil {
-				return "", err
-			}
-			verdict := "WRONG"
-			if res.Base == k.KASLRBase() {
-				verdict = "correct"
-			}
-			return fmt.Sprintf("TET-KASLR recovered base %#x (slot %d) in %.4f s — %s\n",
-				res.Base, res.Slot, res.Seconds, verdict), nil
-		}},
-		{Key: "smt", Run: func(_ context.Context, seed int64) (string, error) {
-			k, err := boot(seed)
-			if err != nil {
-				return "", err
-			}
-			a, err := smt.NewChannel(k, smt.ModeReliable)
-			if err != nil {
-				return "", err
-			}
-			payload := want[:min(len(want), 4)]
-			res, err := a.Transfer(payload)
-			if err != nil {
-				return "", err
-			}
-			return fmt.Sprintf("SMT covert channel received %q (%.2f B/s, bit error %.1f%%)\n",
-				res.Data, res.Bps, stats.BitErrorRate(res.Data, payload)*100), nil
-		}},
-	}
-	fmt.Printf("machine: %s (%s), all attack families, seed %d\n", model.Name, model.Microarch, rootSeed)
-	outs, err := sched.Map(ctx, sched.Options{
-		Name: "whisper.all", Parallel: parallel, RootSeed: rootSeed, Obs: reg,
-	}, jobs)
-	if err != nil {
-		return err
-	}
-	for _, o := range outs {
-		fmt.Print(o)
-	}
-	return nil
 }
 
 // renderWindow runs one traced TET probe and prints its pipeline diagram —

@@ -1,0 +1,131 @@
+// Command whisperd serves the Whisper experiments over HTTP: every sweep
+// and attack of internal/experiments behind a content-addressed result
+// cache with request coalescing, a bounded admission queue, and graceful
+// drain. Because every experiment is a pure function of its normalized
+// request (the determinism contract the scheduler and simulator layers pin),
+// a cached or coalesced response is byte-identical to a cold run — which
+// `whisperd -oneshot` also prints, so the CI smoke job can diff the two.
+//
+// API:
+//
+//	POST /v1/run         {"experiment":"table2","seed":7}  → result envelope
+//	GET  /v1/experiments                                   → servable index
+//	GET  /healthz                                          → ok | 503 draining
+//	GET  /metrics[?format=json]                            → obs snapshot
+//	GET  /traces                                           → Perfetto trace
+//
+// The first SIGINT/SIGTERM starts the drain: new requests get 503, in-flight
+// executions finish (bounded by -drain-timeout), telemetry flushes, and the
+// process exits 0. A second signal hard-exits immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"whisper/internal/cli"
+	"whisper/internal/obs"
+	"whisper/internal/server"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:8090", "address to serve on")
+		parallel     = flag.Int("parallel", 0, "sched workers per execution (<=0: GOMAXPROCS); results are identical at any setting")
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrently executing requests (<=0: NumCPU)")
+		maxQueue     = flag.Int("max-queue", 8, "max requests waiting beyond -max-inflight before 429s")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-execution wall-clock cap (0: none)")
+		cacheEntries = flag.Int("cache-entries", server.DefaultCacheEntries, "in-memory result cache capacity (entries)")
+		cacheDir     = flag.String("cache-dir", "", "persist results under this directory (content-addressed; survives restarts)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests before cancelling them")
+		oneshot      = flag.String("oneshot", "", "run one experiment directly (no HTTP), print the canonical envelope to stdout, and exit")
+		seed         = flag.Int64("seed", 0, "request seed for -oneshot (0: the experiment default)")
+		traceOut     = flag.String("trace-out", "", "on shutdown, write a Perfetto/Chrome trace to this file")
+		metricsOut   = flag.String("metrics-out", "", "on shutdown, write the metrics snapshot to this file (.json for JSON)")
+	)
+	flag.Parse()
+
+	if *oneshot != "" {
+		// The reference path: no cache, no queue, no HTTP. A daemon response
+		// for the same request is byte-identical to these bytes.
+		ctx, stop := cli.SignalContext(context.Background())
+		defer stop()
+		body, err := server.Execute(ctx, server.Request{Experiment: *oneshot, Seed: *seed}, *parallel, nil)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(body)
+		return
+	}
+
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		Parallel:       *parallel,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *reqTimeout,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		Obs:            reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "whisperd: serving on http://%s (experiments: %v)\n", ln.Addr(), server.Experiments())
+
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work, let in-flight executions finish (or cancel
+	// them at the deadline), then close the HTTP side and flush telemetry.
+	fmt.Fprintln(os.Stderr, "whisperd: draining (signal again to exit immediately)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "whisperd: drain: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "whisperd: http shutdown: %v\n", err)
+	}
+	if *traceOut != "" {
+		if err := reg.WriteTraceFile(*traceOut, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "whisperd: trace written to %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteMetricsFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "whisperd: metrics written to %s\n", *metricsOut)
+	}
+	fmt.Fprintln(os.Stderr, "whisperd: drained, bye")
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "whisperd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Package cli holds the small pieces the cmd/ front-ends share: signal
+// wiring with a drain-then-die contract.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// HardExitCode is the status a second interrupt exits with: 128+SIGINT, the
+// shell convention for death-by-signal.
+const HardExitCode = 130
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// SignalContext returns a context that is cancelled on the first SIGINT or
+// SIGTERM — the graceful path: in-flight sweeps drain, deferred writers run.
+// A *second* signal hard-exits the process immediately (status 130) instead
+// of leaving an impatient user waiting on the drain. The returned stop
+// function releases the signal handlers and the watcher goroutine.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer signal.Stop(ch)
+		select {
+		case <-done:
+			return
+		case sig := <-ch:
+			cancel() // graceful: callers see ctx.Done and drain
+			select {
+			case <-done:
+			case sig = <-ch:
+				fmt.Fprintf(os.Stderr, "second %v: exiting immediately\n", sig)
+				exit(HardExitCode)
+			}
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() { close(done) })
+		cancel()
+	}
+	return ctx, stop
+}

@@ -1,0 +1,70 @@
+package cli
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFirstSignalCancelsSecondExits pins the drain-then-die contract: the
+// first SIGINT only cancels the context (the graceful path), the second
+// hard-exits with 128+SIGINT.
+func TestFirstSignalCancelsSecondExits(t *testing.T) {
+	exited := make(chan int, 1)
+	old := exit
+	exit = func(code int) { exited <- code }
+	defer func() { exit = old }()
+
+	ctx, stop := SignalContext(context.Background())
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first SIGINT did not cancel the context")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("first SIGINT exited with %d; it must only cancel", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != HardExitCode {
+			t.Fatalf("second SIGINT exited with %d, want %d", code, HardExitCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second SIGINT did not hard-exit")
+	}
+}
+
+// TestStopReleasesWatcher checks stop() ends the watcher goroutine and
+// cancels the context without involving a signal.
+func TestStopReleasesWatcher(t *testing.T) {
+	exited := make(chan int, 1)
+	old := exit
+	exit = func(code int) { exited <- code }
+	defer func() { exit = old }()
+
+	ctx, stop := SignalContext(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+	stop() // idempotent
+	select {
+	case code := <-exited:
+		t.Fatalf("stop exited with %d", code)
+	case <-time.After(20 * time.Millisecond):
+	}
+}

@@ -40,6 +40,10 @@ type farmCell struct {
 // reuse, which is bit-identical to building it fresh.
 var farmPool = cpu.NewPool()
 
+// FarmPoolStats reports the replica pool's reuse counters. whisperd
+// publishes them on /metrics, making cross-request machine reuse observable.
+func FarmPoolStats() cpu.PoolStats { return farmPool.Stats() }
+
 // LeakSecret plants secret on every replica's kernel and recovers one byte
 // per replica. The result's Cycles is the slowest replica's cost — the
 // critical path when the replicas really do run on distinct cores — and Bps

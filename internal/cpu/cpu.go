@@ -5,6 +5,7 @@ package cpu
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"fmt"
 	"math/rand"
@@ -244,6 +245,31 @@ func (mc *Machine) Reset(seed int64) {
 type Pool struct {
 	mu   sync.Mutex
 	free map[Model][]*Machine
+
+	gets   atomic.Uint64
+	reuses atomic.Uint64
+}
+
+// PoolStats is one pool's reuse traffic: Gets splits into Reuses (a parked
+// machine Reset to the requested seed) and Builds (a fresh NewMachine);
+// Idle counts machines currently parked across all models.
+type PoolStats struct {
+	Gets   uint64
+	Reuses uint64
+	Builds uint64
+	Idle   int
+}
+
+// Stats returns the pool's lifetime counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := 0
+	for _, list := range p.free {
+		idle += len(list)
+	}
+	p.mu.Unlock()
+	gets, reuses := p.gets.Load(), p.reuses.Load()
+	return PoolStats{Gets: gets, Reuses: reuses, Builds: gets - reuses, Idle: idle}
 }
 
 // NewPool returns an empty machine pool.
@@ -254,6 +280,7 @@ func NewPool() *Pool {
 // Get returns a machine equivalent to NewMachine(model, seed): recycled when
 // one is available for the model, freshly built otherwise.
 func (p *Pool) Get(model Model, seed int64) (*Machine, error) {
+	p.gets.Add(1)
 	p.mu.Lock()
 	list := p.free[model]
 	var mc *Machine
@@ -265,6 +292,7 @@ func (p *Pool) Get(model Model, seed int64) (*Machine, error) {
 	if mc == nil {
 		return NewMachine(model, seed)
 	}
+	p.reuses.Add(1)
 	mc.Reset(seed)
 	return mc, nil
 }

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SweepParams sizes one sweep invocation. It is the serializable subset of
+// ReportParams: everything that changes a sweep's *result* lives here, while
+// execution knobs that provably do not (worker count, context, telemetry)
+// stay on Exec. That split is what makes sweep results content-addressable —
+// internal/server hashes (sweep name, SweepParams) and nothing else.
+type SweepParams struct {
+	Seed            int64 `json:"seed"`
+	ThroughputBytes int   `json:"throughput_bytes,omitempty"`
+	KASLRReps       int   `json:"kaslr_reps,omitempty"`
+	Fig1bBatches    int   `json:"fig1b_batches,omitempty"`
+}
+
+// DefaultSweepParams mirrors DefaultReportParams' sizes.
+func DefaultSweepParams() SweepParams {
+	p := DefaultReportParams()
+	return SweepParams{
+		Seed:            p.Seed,
+		ThroughputBytes: p.ThroughputBytes,
+		KASLRReps:       p.KASLRReps,
+		Fig1bBatches:    p.Fig1bBatches,
+	}
+}
+
+// Normalize fills zero fields with the defaults, returning the canonical
+// form: two requests that mean the same sweep normalize to equal structs.
+func (p SweepParams) Normalize() SweepParams {
+	d := DefaultSweepParams()
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	if p.ThroughputBytes <= 0 {
+		p.ThroughputBytes = d.ThroughputBytes
+	}
+	if p.KASLRReps <= 0 {
+		p.KASLRReps = d.KASLRReps
+	}
+	if p.Fig1bBatches <= 0 {
+		p.Fig1bBatches = d.Fig1bBatches
+	}
+	return p
+}
+
+// SweepResult is one sweep's output in both machine and human form. Result
+// holds the structured rows/points/scenes (JSON-encodable, deterministic),
+// Rendered the same text table the CLI prints.
+type SweepResult struct {
+	Name     string
+	Result   any
+	Rendered string
+}
+
+// sweepRunner executes one named sweep.
+type sweepRunner func(ex Exec, p SweepParams) (any, string, error)
+
+// sweepRegistry maps every servable sweep to its runner. Each entry returns
+// exactly what the corresponding cmd/tetbench -exp branch computes, so a
+// result fetched by name is the same artefact the CLI regenerates.
+var sweepRegistry = map[string]sweepRunner{
+	"table1": func(Exec, SweepParams) (any, string, error) {
+		t := Table1()
+		return t, t, nil
+	},
+	"table2": func(ex Exec, p SweepParams) (any, string, error) {
+		rows, err := Table2(ex, DefaultTable2Params(), p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, RenderTable2(rows), nil
+	},
+	"table3": func(ex Exec, p SweepParams) (any, string, error) {
+		scenes, err := Table3(ex, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return scenes, RenderTable3(scenes), nil
+	},
+	"fig1b": func(ex Exec, p SweepParams) (any, string, error) {
+		r, err := Fig1b(ex, p.Fig1bBatches, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, r.Render(), nil
+	},
+	"fig4": func(ex Exec, p SweepParams) (any, string, error) {
+		pts, err := Fig4(ex, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return pts, RenderFig4(pts), nil
+	},
+	"throughput": func(ex Exec, p SweepParams) (any, string, error) {
+		rows, err := Throughput(ex, p.ThroughputBytes, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, RenderThroughput(rows), nil
+	},
+	"kaslr": func(ex Exec, p SweepParams) (any, string, error) {
+		rows, err := KASLRSuite(ex, p.KASLRReps, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, RenderKASLRSuite(rows), nil
+	},
+	"mitigations": func(ex Exec, p SweepParams) (any, string, error) {
+		rows, err := Mitigations(ex, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, RenderMitigations(rows), nil
+	},
+	"stealth": func(ex Exec, p SweepParams) (any, string, error) {
+		rows, err := Stealth(ex, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, RenderStealth(rows), nil
+	},
+	"condfamily": func(ex Exec, p SweepParams) (any, string, error) {
+		rows, err := CondFamily(ex, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, RenderCondFamily(rows), nil
+	},
+	"noise": func(ex Exec, p SweepParams) (any, string, error) {
+		pts, err := NoiseSweep(ex, p.Seed)
+		if err != nil {
+			return nil, "", err
+		}
+		return pts, RenderNoiseSweep(pts), nil
+	},
+	"report": func(ex Exec, p SweepParams) (any, string, error) {
+		r, err := RunAll(ReportParams{
+			Seed:            p.Seed,
+			ThroughputBytes: p.ThroughputBytes,
+			KASLRReps:       p.KASLRReps,
+			Fig1bBatches:    p.Fig1bBatches,
+			Parallel:        ex.Parallel,
+			Ctx:             ex.Ctx,
+			Obs:             ex.Obs,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return r, "", nil
+	},
+}
+
+// Sweeps returns every servable sweep name, sorted.
+func Sweeps() []string {
+	names := make([]string, 0, len(sweepRegistry))
+	for name := range sweepRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunSweep executes the named sweep with normalized params. The result is a
+// pure function of (name, p.Normalize()): Exec only changes wall-clock.
+func RunSweep(ex Exec, name string, p SweepParams) (SweepResult, error) {
+	run, ok := sweepRegistry[name]
+	if !ok {
+		return SweepResult{}, fmt.Errorf("experiments: unknown sweep %q (have %v)", name, Sweeps())
+	}
+	p = p.Normalize()
+	res, rendered, err := run(ex, p)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return SweepResult{Name: name, Result: res, Rendered: rendered}, nil
+}

@@ -60,6 +60,10 @@ func (ex Exec) opts(name string, seed int64) sched.Options {
 // trace tests pin.
 var machinePool = cpu.NewPool()
 
+// MachinePoolStats reports the sweep machine pool's reuse counters. whisperd
+// publishes them on /metrics, making cross-request machine reuse observable.
+func MachinePoolStats() cpu.PoolStats { return machinePool.Stats() }
+
 // boot builds a machine+kernel pair, drawing the machine from the pool.
 func boot(model cpu.Model, cfg kernel.Config, seed int64) (*kernel.Kernel, error) {
 	m, err := machinePool.Get(model, seed)

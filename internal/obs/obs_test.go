@@ -3,8 +3,12 @@ package obs_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"whisper/internal/obs"
 	"whisper/internal/pmu"
@@ -212,5 +216,77 @@ func TestSnapshotFromPMU(t *testing.T) {
 	}
 	if s.Counters["pmu/MACHINE_CLEARS.COUNT"] != 3 {
 		t.Fatalf("snapshot = %+v", s.Counters)
+	}
+}
+
+// TestConcurrentScrapeRaceClean hammers the registry with metric and span
+// writers while scrapers snapshot and export concurrently — the shape a
+// /metrics or /traces request has while a sweep is mid-flight. It asserts
+// nothing beyond "no data race / no panic"; run it under -race to get value.
+func TestConcurrentScrapeRaceClean(t *testing.T) {
+	r := obs.NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	writer := func(id int) {
+		defer wg.Done()
+		var counts pmu.Counts
+		counts[pmu.UopsIssuedAny] = uint64(id)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Counter("scrape.test.hits", obs.L("writer", strconv.Itoa(id))).Inc()
+			r.Gauge("scrape.test.depth").Set(float64(i))
+			r.Histogram("scrape.test.lat").Observe(uint64(i % 97))
+			sp := r.StartDetachedWallSpan("scrape.test.span")
+			sp.Attr("iter", strconv.Itoa(i))
+			r.SamplePMU(uint64(i), counts)
+			sp.End(uint64(i))
+		}
+	}
+	scraper := func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			if err := snap.WriteText(io.Discard); err != nil {
+				t.Errorf("WriteText: %v", err)
+				return
+			}
+			if err := snap.WriteJSON(io.Discard); err != nil {
+				t.Errorf("WriteJSON: %v", err)
+				return
+			}
+			if err := r.ExportTrace(io.Discard, nil); err != nil {
+				t.Errorf("ExportTrace: %v", err)
+				return
+			}
+			for _, sp := range r.Spans() {
+				_ = sp.Name
+			}
+		}
+	}
+
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go writer(id)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go scraper()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if r.Counter("scrape.test.hits", obs.L("writer", "0")).Value() == 0 {
+		t.Fatal("writers made no progress")
 	}
 }

@@ -306,3 +306,84 @@ func TestMapParallelDefaultsToGOMAXPROCS(t *testing.T) {
 			peak.Load(), runtime.GOMAXPROCS(0))
 	}
 }
+
+// TestMapCancelReturnsPromptly pins the serving-layer requirement: when jobs
+// honour their context (as every sweep cell does), cancelling mid-Map makes
+// Map return well before the jobs' natural runtime, with the partial-result
+// cancellation error — not the partial results.
+func TestMapCancelReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("cell/%d", i),
+			Run: func(jctx context.Context, _ int64) (int, error) {
+				select {
+				case <-jctx.Done(): // a well-behaved long cell
+					return 0, jctx.Err()
+				case <-time.After(30 * time.Second):
+					return i, nil
+				}
+			},
+		}
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Map(ctx, Options{Parallel: 4}, jobs)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Map took %v to notice the cancellation", took)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled Map leaked partial results: %v", res)
+	}
+}
+
+// TestMapPanicRecordsJobKey checks the panic-recovery path attributes the
+// failure to the job: the key appears in the returned error, the panicked
+// counter, and the job's telemetry span.
+func TestMapPanicRecordsJobKey(t *testing.T) {
+	reg := obs.NewRegistry()
+	jobs := []Job[int]{
+		{Key: "steady", Run: func(context.Context, int64) (int, error) { return 1, nil }},
+		{Key: "kaboom", Run: func(context.Context, int64) (int, error) { panic("blew a fuse") }},
+	}
+	_, err := Map(context.Background(), Options{Name: "p", Parallel: 2, Obs: reg}, jobs)
+	if err == nil || !strings.Contains(err.Error(), `"kaboom"`) || !strings.Contains(err.Error(), "blew a fuse") {
+		t.Fatalf("error does not attribute the panic to the job: %v", err)
+	}
+	lbl := obs.L("pool", "p")
+	if got := reg.Counter("sched.jobs.panicked", lbl).Value(); got != 1 {
+		t.Fatalf("panicked counter = %d, want 1", got)
+	}
+	if got := reg.Counter("sched.jobs.failed", lbl).Value(); got != 1 {
+		t.Fatalf("failed counter = %d, want 1", got)
+	}
+	found := false
+	for _, sp := range reg.Spans() {
+		if sp.Name != "p.kaboom" {
+			continue
+		}
+		found = true
+		hasErr := false
+		for _, a := range sp.Attrs {
+			if a.Key == "error" && strings.Contains(a.Value, "blew a fuse") {
+				hasErr = true
+			}
+		}
+		if !hasErr {
+			t.Fatalf("span %q lacks the panic error attr: %+v", sp.Name, sp.Attrs)
+		}
+	}
+	if !found {
+		t.Fatal("no telemetry span recorded for the panicking job")
+	}
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whisper/internal/obs"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := newCache(2, "", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // touches a: b becomes the LRU entry
+		t.Fatal("a missing before capacity was reached")
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, h := range []string{"a", "c"} {
+		if _, ok := c.get(h); !ok {
+			t.Fatalf("%s evicted although it was not the LRU entry", h)
+		}
+	}
+	if got := reg.Counter("server.cache.evictions").Value(); got != 1 {
+		t.Fatalf("evictions counter = %d, want 1", got)
+	}
+}
+
+// TestCacheDiskSurvivesRestart checks the disk tier serves entries written
+// by a previous cache instance — the whisperd -cache-dir restart story — and
+// promotes them into memory.
+func TestCacheDiskSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := []byte(`{"hash":"h1"}` + "\n")
+
+	c1, err := newCache(4, dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.put("aa11", body)
+
+	reg := obs.NewRegistry()
+	c2, err := newCache(4, dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.get("aa11")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("disk entry not served after restart: ok=%v body=%q", ok, got)
+	}
+	if reg.Counter("server.cache.hits", obs.L("tier", "disk")).Value() != 1 {
+		t.Fatal("hit not attributed to the disk tier")
+	}
+	if _, ok := c2.get("aa11"); !ok {
+		t.Fatal("disk hit not promoted to memory")
+	}
+	if reg.Counter("server.cache.hits", obs.L("tier", "memory")).Value() != 1 {
+		t.Fatal("promoted entry not served from the memory tier")
+	}
+}
+
+// TestFlightCoalesces checks concurrent do() calls for one hash share a
+// single execution: exactly one caller runs fn, everyone gets its bytes.
+func TestFlightCoalesces(t *testing.T) {
+	f := newFlight()
+	var runs atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([][]byte, followers+1)
+	sharedCount := atomic.Int64{}
+	arrived := make(chan struct{}, followers)
+	call := func(slot int, follower bool) {
+		defer wg.Done()
+		if follower {
+			arrived <- struct{}{}
+		}
+		body, shared, err := f.do("h", func() ([]byte, error) {
+			runs.Add(1)
+			close(leaderIn)
+			<-release
+			return []byte("R"), nil
+		})
+		if err != nil {
+			t.Errorf("do: %v", err)
+		}
+		if shared {
+			sharedCount.Add(1)
+		}
+		results[slot] = body
+	}
+	wg.Add(1)
+	go call(0, false)
+	<-leaderIn // the leader holds the flight open; followers must join it
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go call(i, true)
+	}
+	for i := 0; i < followers; i++ {
+		<-arrived
+	}
+	// Every follower is past its handshake and about to (or already does)
+	// block on the leader's call; the leader cannot finish until release, so
+	// the flight entry is still registered when each of them reads it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	// The bodies must all be the leader's bytes regardless of scheduling;
+	// the coalescing accounting below is the deterministic part the flight
+	// guarantees once every follower joined before the leader completed.
+	for i, b := range results {
+		if !bytes.Equal(b, []byte("R")) {
+			t.Fatalf("caller %d got %q", i, b)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", got)
+	}
+	if sharedCount.Load() != followers {
+		t.Fatalf("shared reported by %d callers, want %d", sharedCount.Load(), followers)
+	}
+}

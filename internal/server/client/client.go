@@ -1,0 +1,149 @@
+// Package client is the Go client for a whisperd daemon: it posts
+// experiment requests, surfaces the cache path each response took, and
+// honours the daemon's backpressure by retrying 429s with the advertised
+// Retry-After delay. cmd/whisper's -remote mode is a thin wrapper over it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"whisper/internal/obs"
+	"whisper/internal/server"
+)
+
+// Client talks to one whisperd instance.
+type Client struct {
+	// Base is the daemon's root URL, e.g. "http://127.0.0.1:8090".
+	Base string
+	// HTTP is the transport; nil uses a client with no overall timeout
+	// (per-call deadlines come from the caller's context).
+	HTTP *http.Client
+	// MaxRetries bounds 429 retries per Run call (0: DefaultMaxRetries).
+	MaxRetries int
+}
+
+// DefaultMaxRetries is the 429-retry budget when none is configured.
+const DefaultMaxRetries = 5
+
+// New returns a client for the daemon at base ("host:port" or a full URL).
+func New(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+// Run executes req on the daemon and returns the decoded envelope, the raw
+// canonical body bytes, and the cache path ("miss", "hit", "coalesced") the
+// daemon reported. 429 responses are retried with the server's Retry-After
+// until the context or the retry budget runs out.
+func (c *Client) Run(ctx context.Context, req server.Request) (*server.Result, []byte, string, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	retries := c.MaxRetries
+	if retries <= 0 {
+		retries = DefaultMaxRetries
+	}
+	for attempt := 0; ; attempt++ {
+		body, cachePath, retryAfter, err := c.post(ctx, payload)
+		if err == nil {
+			var res server.Result
+			if err := json.Unmarshal(body, &res); err != nil {
+				return nil, nil, "", fmt.Errorf("client: decoding envelope: %w", err)
+			}
+			return &res, body, cachePath, nil
+		}
+		if retryAfter < 0 || attempt >= retries {
+			return nil, nil, "", err
+		}
+		select {
+		case <-time.After(retryAfter):
+		case <-ctx.Done():
+			return nil, nil, "", ctx.Err()
+		}
+	}
+}
+
+// post does one POST /v1/run round trip. retryAfter >= 0 marks a retryable
+// 429 and carries the server's requested delay.
+func (c *Client) post(ctx context.Context, payload []byte) (body []byte, cachePath string, retryAfter time.Duration, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/run", bytes.NewReader(payload))
+	if err != nil {
+		return nil, "", -1, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, "", -1, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", -1, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return body, resp.Header.Get("X-Whisper-Cache"), -1, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		after := time.Second
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			after = time.Duration(v) * time.Second
+		}
+		return nil, "", after, fmt.Errorf("client: daemon at capacity (429)")
+	default:
+		return nil, "", -1, fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// Experiments fetches the daemon's experiment index.
+func (c *Client) Experiments(ctx context.Context) ([]string, error) {
+	var idx struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := c.getJSON(ctx, "/v1/experiments", &idx); err != nil {
+		return nil, err
+	}
+	return idx.Experiments, nil
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.getJSON(ctx, "/metrics?format=json", &snap)
+	return snap, err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Accept", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

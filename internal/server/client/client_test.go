@@ -1,0 +1,120 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whisper/internal/server"
+)
+
+// TestRunRetries429 checks the client honours backpressure: a 429 with
+// Retry-After is retried and the eventual 200 is decoded.
+func TestRunRetries429(t *testing.T) {
+	var calls atomic.Int64
+	body := []byte(`{"hash":"abc","request":{"experiment":"table2"},"rendered":"ok"}`)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("X-Whisper-Cache", "hit")
+		w.Write(body)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	start := time.Now()
+	res, raw, cachePath, err := c.Run(context.Background(), server.Request{Experiment: "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want a retry (2)", calls.Load())
+	}
+	if time.Since(start) < time.Second {
+		t.Fatal("client did not wait the advertised Retry-After")
+	}
+	if res.Hash != "abc" || res.Rendered != "ok" || cachePath != "hit" || !bytes.Equal(raw, body) {
+		t.Fatalf("decoded %+v (cache %q)", res, cachePath)
+	}
+}
+
+// TestRunRetryHonoursContext checks a context deadline interrupts the
+// Retry-After wait instead of sleeping through it.
+func TestRunRetryHonoursContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, _, err := New(ts.URL).Run(ctx, server.Request{Experiment: "table2"})
+	if err == nil {
+		t.Fatal("Run succeeded against a permanently busy server")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Run slept through its context deadline")
+	}
+}
+
+// TestClientAgainstRealHandler round-trips through the actual server
+// handler: run, index, and metrics.
+func TestClientAgainstRealHandler(t *testing.T) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	names, err := c.Experiments(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("empty experiment index")
+	}
+
+	res, raw, cachePath, err := c.Run(context.Background(), server.Request{Experiment: "throughput", ThroughputBytes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cachePath != "miss" || res.Rendered == "" {
+		t.Fatalf("cold run: cache %q, rendered %d bytes", cachePath, len(res.Rendered))
+	}
+	var env server.Result
+	if err := json.Unmarshal(raw, &env); err != nil || env.Hash != res.Hash {
+		t.Fatalf("raw body does not decode to the envelope: %v", err)
+	}
+
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters[`server.requests{experiment=throughput}`] != 1 {
+		t.Fatalf("metrics missing the request: %v", snap.Counters)
+	}
+}
+
+// TestBaseURLNormalization checks host:port spellings work.
+func TestBaseURLNormalization(t *testing.T) {
+	c := New("127.0.0.1:8090/")
+	if c.Base != "http://127.0.0.1:8090" {
+		t.Fatalf("Base = %q", c.Base)
+	}
+	c = New("https://example.test/")
+	if c.Base != "https://example.test" {
+		t.Fatalf("Base = %q", c.Base)
+	}
+}

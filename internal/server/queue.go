@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"whisper/internal/obs"
+)
+
+// errBusy is returned when both the execution slots and the wait queue are
+// full — the handler maps it to 429 + Retry-After.
+var errBusy = errors.New("server: at capacity")
+
+// queue is the admission controller: maxInflight execution slots plus a
+// bounded count of waiters. It exists so a burst of heavy sweeps degrades
+// into fast, honest 429s instead of an unbounded goroutine pile-up.
+type queue struct {
+	slots   chan struct{}
+	maxWait int64
+	waiting atomic.Int64
+	reg     *obs.Registry
+}
+
+func newQueue(maxInflight, maxWait int, reg *obs.Registry) *queue {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &queue{
+		slots:   make(chan struct{}, maxInflight),
+		maxWait: int64(maxWait),
+		reg:     reg,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. It returns errBusy when the queue is full, or ctx.Err()
+// when the caller gives up first.
+func (q *queue) acquire(ctx context.Context) error {
+	select {
+	case q.slots <- struct{}{}:
+		q.gauges()
+		return nil
+	default:
+	}
+	if q.waiting.Add(1) > q.maxWait {
+		q.waiting.Add(-1)
+		q.reg.Counter("server.queue.rejected").Inc()
+		return errBusy
+	}
+	q.gauges()
+	defer func() {
+		q.waiting.Add(-1)
+		q.gauges()
+	}()
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		q.reg.Counter("server.queue.abandoned").Inc()
+		return ctx.Err()
+	}
+}
+
+// release frees an execution slot.
+func (q *queue) release() {
+	<-q.slots
+	q.gauges()
+}
+
+func (q *queue) gauges() {
+	q.reg.Gauge("server.queue.inflight").Set(float64(len(q.slots)))
+	q.reg.Gauge("server.queue.waiting").Set(float64(q.waiting.Load()))
+}

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"whisper/internal/core"
+	"whisper/internal/cpu"
+	"whisper/internal/experiments"
+	"whisper/internal/obs"
+	"whisper/internal/pmu"
+)
+
+// Config sizes one Server.
+type Config struct {
+	// Parallel is the sched worker count each execution runs with (<= 0:
+	// GOMAXPROCS). Results are byte-identical at every setting; this only
+	// budgets CPU per request.
+	Parallel int
+	// MaxInflight bounds concurrently executing requests (<= 0: NumCPU).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for a slot beyond MaxInflight; a
+	// request past both bounds is rejected with 429 (< 0: 0).
+	MaxQueue int
+	// RequestTimeout caps one execution's wall clock (<= 0: no deadline).
+	RequestTimeout time.Duration
+	// CacheEntries bounds the in-memory result LRU (<= 0 with no CacheDir:
+	// DefaultCacheEntries).
+	CacheEntries int
+	// CacheDir, when set, persists results on disk (content-addressed by
+	// request hash), surviving restarts.
+	CacheDir string
+	// Obs receives server telemetry and is what /metrics and /traces serve;
+	// nil allocates a fresh registry.
+	Obs *obs.Registry
+}
+
+// DefaultCacheEntries is the memory LRU capacity when none is configured.
+const DefaultCacheEntries = 256
+
+// Server serves experiment results over HTTP. Zero or one execution runs
+// per distinct request hash at any instant (coalescing); completed results
+// are cached content-addressed; admission is bounded with backpressure; and
+// Shutdown drains in-flight work before returning.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *cache
+	fl    *flight
+	queue *queue
+
+	// run executes one normalized request; tests stub it to control timing.
+	run func(ctx context.Context, req Request) ([]byte, error)
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	inflight sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.NumCPU()
+	}
+	entries := cfg.CacheEntries
+	if entries <= 0 {
+		entries = DefaultCacheEntries
+	}
+	c, err := newCache(entries, cfg.CacheDir, reg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		cache:    c,
+		fl:       newFlight(),
+		queue:    newQueue(cfg.MaxInflight, cfg.MaxQueue, reg),
+		baseCtx:  ctx,
+		baseStop: stop,
+	}
+	s.run = func(ctx context.Context, req Request) ([]byte, error) {
+		return Execute(ctx, req, cfg.Parallel, reg)
+	}
+	return s, nil
+}
+
+// Obs returns the server's telemetry registry (what /metrics serves).
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/traces", s.handleTraces)
+	return mux
+}
+
+// Shutdown drains the server: new requests are refused (503), in-flight
+// executions run to completion — or, once ctx expires, are cancelled through
+// their context — and Shutdown returns when every execution has finished.
+// The obs registry stays readable after drain so the caller can flush
+// metrics and traces.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.reg.Gauge("server.draining").Set(1)
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline passed: cancel the executions' base context and wait for
+		// them to unwind — Shutdown's contract is "no execution survives".
+		err = ctx.Err()
+		s.baseStop()
+		<-done
+	}
+	s.baseStop()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// errDraining refuses an execution that won a queue slot after Shutdown
+// began; the handler maps it to 503.
+var errDraining = errors.New("server: draining")
+
+// beginExec atomically checks the drain flag and registers an execution, so
+// Shutdown's Wait provably covers every execution that was admitted: an
+// execution either registered before draining was set (and Wait blocks on
+// it) or is refused.
+func (s *Server) beginExec() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// cacheHeader values for X-Whisper-Cache.
+const (
+	cacheMiss      = "miss"      // this call executed the sweep
+	cacheHit       = "hit"       // served from the content-addressed cache
+	cacheCoalesced = "coalesced" // shared another in-flight execution
+)
+
+// handleRun is POST /v1/run: decode → normalize → hash → cache/coalesce →
+// execute. The response body is the canonical envelope — byte-identical
+// across all three cache paths and across daemon instances.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	norm, err := req.Normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hash := norm.Hash()
+	lbl := obs.L("experiment", norm.Experiment)
+	s.reg.Counter("server.requests", lbl).Inc()
+	sp := s.reg.StartDetachedWallSpan("server.run." + norm.Experiment)
+	sp.Attr("hash", hash)
+	start := time.Now()
+	body, status, err := s.result(r.Context(), norm, hash)
+	sp.Attr("cache", status)
+	s.reg.Histogram("server.request.us", lbl).Observe(uint64(time.Since(start).Microseconds()))
+	if err != nil {
+		sp.Attr("error", err.Error())
+		sp.End(0)
+		s.reg.Counter("server.errors", lbl).Inc()
+		switch {
+		case errors.Is(err, errBusy):
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+		case errors.Is(err, errDraining),
+			errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	sp.End(0)
+	s.reg.Counter("server.responses", lbl, obs.L("cache", status)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Whisper-Hash", hash)
+	w.Header().Set("X-Whisper-Cache", status)
+	w.Write(body)
+}
+
+// result resolves one normalized request through cache → coalescing → queue
+// → execution, returning the envelope bytes and which path served them.
+func (s *Server) result(ctx context.Context, norm Request, hash string) ([]byte, string, error) {
+	if body, ok := s.cache.get(hash); ok {
+		return body, cacheHit, nil
+	}
+	body, shared, err := s.fl.do(hash, func() ([]byte, error) {
+		// The leader queues on the caller's context (an abandoning client
+		// frees its queue spot) but executes on the server's base context:
+		// coalesced followers must not die with the leader's connection, and
+		// drain-cancellation flows through baseCtx.
+		if err := s.queue.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.queue.release()
+		if !s.beginExec() {
+			return nil, errDraining
+		}
+		defer s.inflight.Done()
+		if s.baseCtx.Err() != nil {
+			return nil, s.baseCtx.Err()
+		}
+		runCtx := s.baseCtx
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(runCtx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		body, err := s.run(runCtx, norm)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.put(hash, body)
+		return body, nil
+	})
+	status := cacheMiss
+	if shared {
+		status = cacheCoalesced
+		s.reg.Counter("server.coalesced").Inc()
+	}
+	if err != nil {
+		return nil, status, err
+	}
+	return body, status, nil
+}
+
+// experimentsIndex is the GET /v1/experiments document.
+type experimentsIndex struct {
+	Experiments []string `json:"experiments"`
+	Attacks     []string `json:"attacks"`
+	Defaults    Request  `json:"defaults"`
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	def, err := Request{Experiment: "table2"}.Normalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	idx := experimentsIndex{
+		Experiments: Experiments(),
+		Attacks:     experiments.AttackNames(),
+		Defaults:    def,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(idx)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the obs registry snapshot: the aligned text table by
+// default, JSON with ?format=json — the same two renderings the CLIs'
+// -metrics-out flag writes.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	publishPoolGauges(s.reg)
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" || wantsJSON(r) {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	snap.WriteText(w)
+}
+
+// handleTraces serves the Perfetto/Chrome trace of everything the registry
+// has recorded — request spans included — ready for ui.perfetto.dev.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.ExportTrace(w, []pmu.Event(nil))
+}
+
+func wantsJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
+// publishPoolGauges refreshes the machine-reuse gauges from the process-wide
+// machine pools. Recycling simulator machines across requests — not just
+// within one sweep — is a core reason results are served from one daemon, so
+// /metrics surfaces how much reuse the pools actually deliver.
+func publishPoolGauges(reg *obs.Registry) {
+	for _, p := range []struct {
+		name  string
+		stats cpu.PoolStats
+	}{
+		{"sweep", experiments.MachinePoolStats()},
+		{"farm", core.FarmPoolStats()},
+	} {
+		lbl := obs.L("pool", p.name)
+		reg.Gauge("server.machines.gets", lbl).Set(float64(p.stats.Gets))
+		reg.Gauge("server.machines.reuses", lbl).Set(float64(p.stats.Reuses))
+		reg.Gauge("server.machines.idle", lbl).Set(float64(p.stats.Idle))
+	}
+}
