@@ -10,6 +10,9 @@
 package whisper_test
 
 import (
+	"context"
+	"io"
+	"log/slog"
 	"testing"
 
 	"whisper/internal/baseline"
@@ -17,6 +20,8 @@ import (
 	"whisper/internal/cpu"
 	"whisper/internal/experiments"
 	"whisper/internal/kernel"
+	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
 	"whisper/internal/smt"
 	"whisper/internal/stats"
 )
@@ -530,6 +535,45 @@ func BenchmarkProbeTracingOverhead(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := pr.Probe(core.UnmappedVA, uint64(i%256), 0); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeLoggingOverhead prices the structured-logging layer on the
+// serving hot path at its three operating points: no logger on the context
+// (every direct CLI run — the guard must collapse to a context lookup plus a
+// boolean), a real logger whose level filters the event out (whisperd at the
+// default -log-level=info rejecting debug events), and a level-enabled JSON
+// event actually encoded and written. EXPERIMENTS.md's observability row
+// quotes these numbers.
+func BenchmarkServeLoggingOverhead(b *testing.B) {
+	enabled, err := logging.New(logging.Options{Level: "info", Format: "json", Output: io.Discard})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name  string
+		ctx   context.Context
+		level slog.Level
+	}{
+		{"Disabled", context.Background(), slog.LevelDebug},
+		{"LevelFiltered", logging.With(context.Background(), enabled), slog.LevelDebug},
+		{"EnabledJSON", logging.With(context.Background(), enabled), slog.LevelInfo},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			ctx := obs.WithRequestID(bc.ctx, "bench-request-1")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if log := logging.From(ctx); log.Enabled(ctx, bc.level) {
+					log.LogAttrs(ctx, bc.level, "request",
+						slog.String("experiment", "table2"),
+						slog.String(obs.RequestIDAttr, obs.RequestIDFrom(ctx)),
+						slog.Int("status", 200),
+						slog.Int64("dur_us", int64(i)))
 				}
 			}
 		})

@@ -26,7 +26,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
-		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json JSON, .prom Prometheus, else text)")
 	)
 	flag.Parse()
 	if !*table3 && !*flow && !*events {

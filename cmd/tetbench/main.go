@@ -24,7 +24,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "run everything and emit one JSON report to stdout")
 
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
-		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json JSON, .prom Prometheus, else text)")
 	)
 	flag.Parse()
 

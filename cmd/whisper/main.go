@@ -19,6 +19,7 @@ import (
 	"whisper/internal/experiments"
 	"whisper/internal/kernel"
 	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
 	"whisper/internal/server"
 	"whisper/internal/server/client"
 	"whisper/internal/smt"
@@ -40,8 +41,10 @@ func main() {
 		showWin  = flag.Bool("trace", false, "after the attack, render one probe's pipeline diagram")
 		remote   = flag.String("remote", "", "serve the request from the whisperd daemon at this address instead of executing locally")
 
+		logLevel   = flag.String("log-level", "warn", "minimum level for structured client/daemon events on stderr: debug, info, warn, error")
+		logFormat  = flag.String("log-format", logging.FormatText, "structured event format: text or json")
 		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the run to this file")
-		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json for JSON)")
+		metricsOut = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json JSON, .prom Prometheus, else text)")
 	)
 	flag.Parse()
 
@@ -58,6 +61,10 @@ func main() {
 	if *remote != "" {
 		ctx, stop := cli.SignalContext(context.Background())
 		defer stop()
+		log, err := logging.New(logging.Options{Level: *logLevel, Format: *logFormat, Output: os.Stderr})
+		if err != nil {
+			fatal(err)
+		}
 		req := server.Request{
 			Experiment: "attacks",
 			Seed:       *seed,
@@ -68,7 +75,9 @@ func main() {
 		if !*all {
 			req.Attacks = []string{*attack}
 		}
-		res, _, cachePath, err := client.New(*remote).Run(ctx, req)
+		cl := client.New(*remote)
+		cl.Log = log
+		res, _, cachePath, err := cl.Run(ctx, req)
 		if err != nil {
 			fatal(err)
 		}

@@ -11,8 +11,14 @@
 //	POST /v1/run         {"experiment":"table2","seed":7}  → result envelope
 //	GET  /v1/experiments                                   → servable index
 //	GET  /healthz                                          → ok | 503 draining
-//	GET  /metrics[?format=json]                            → obs snapshot
+//	GET  /metrics[?format=text|json|prom]                  → obs snapshot
 //	GET  /traces                                           → Perfetto trace
+//
+// All operational output is structured logging on stderr (JSON lines by
+// default; -log-format=text for humans), keyed by the request ID that also
+// rides the X-Whisper-Request-Id header, trace span attributes, and error
+// bodies. -debug-addr exposes net/http/pprof and expvar on a second,
+// opt-in listener so profiling never shares the serving port.
 //
 // The first SIGINT/SIGTERM starts the drain: new requests get 503, in-flight
 // executions finish (bounded by -drain-timeout), telemetry flushes, and the
@@ -22,15 +28,19 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"whisper/internal/cli"
 	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
 	"whisper/internal/server"
 )
 
@@ -47,15 +57,33 @@ func main() {
 		oneshot      = flag.String("oneshot", "", "run one experiment directly (no HTTP), print the canonical envelope to stdout, and exit")
 		seed         = flag.Int64("seed", 0, "request seed for -oneshot (0: the experiment default)")
 		traceOut     = flag.String("trace-out", "", "on shutdown, write a Perfetto/Chrome trace to this file")
-		metricsOut   = flag.String("metrics-out", "", "on shutdown, write the metrics snapshot to this file (.json for JSON)")
+		metricsOut   = flag.String("metrics-out", "", "on shutdown, write the metrics snapshot to this file (.json JSON, .prom Prometheus, else text)")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logFormat    = flag.String("log-format", logging.FormatJSON, "log output format: json (one object per line) or text")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this extra address (empty: disabled)")
 	)
 	flag.Parse()
 
+	log, err := logging.New(logging.Options{Level: *logLevel, Format: *logFormat, Output: os.Stderr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whisperd:", err)
+		os.Exit(1)
+	}
+	fatal := func(err error) {
+		if errors.Is(err, http.ErrServerClosed) {
+			return
+		}
+		log.Error("whisperd failed", slog.String("error", err.Error()))
+		os.Exit(1)
+	}
+
 	if *oneshot != "" {
 		// The reference path: no cache, no queue, no HTTP. A daemon response
-		// for the same request is byte-identical to these bytes.
+		// for the same request is byte-identical to these bytes; logging goes
+		// to stderr so stdout stays the canonical envelope alone.
 		ctx, stop := cli.SignalContext(context.Background())
 		defer stop()
+		ctx = logging.With(ctx, log)
 		body, err := server.Execute(ctx, server.Request{Experiment: *oneshot, Seed: *seed}, *parallel, nil)
 		if err != nil {
 			fatal(err)
@@ -73,6 +101,7 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		CacheDir:       *cacheDir,
 		Obs:            reg,
+		Log:            log,
 	})
 	if err != nil {
 		fatal(err)
@@ -83,7 +112,29 @@ func main() {
 		fatal(err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(os.Stderr, "whisperd: serving on http://%s (experiments: %v)\n", ln.Addr(), server.Experiments())
+	log.Info("whisperd serving",
+		slog.String("addr", "http://"+ln.Addr().String()),
+		slog.Any("experiments", server.Experiments()),
+		slog.Int("parallel", *parallel),
+		slog.Int("max_inflight", *maxInflight),
+		slog.Int("max_queue", *maxQueue),
+		slog.Int("cache_entries", *cacheEntries),
+		slog.String("cache_dir", *cacheDir),
+		slog.String("log_level", *logLevel),
+		slog.String("log_format", *logFormat))
+
+	var dbg *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		dbg = &http.Server{Handler: debugMux()}
+		go dbg.Serve(dln)
+		log.Info("debug endpoints serving",
+			slog.String("addr", "http://"+dln.Addr().String()),
+			slog.Any("paths", []string{"/debug/pprof/", "/debug/vars"}))
+	}
 
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
@@ -98,34 +149,43 @@ func main() {
 
 	// Drain: refuse new work, let in-flight executions finish (or cancel
 	// them at the deadline), then close the HTTP side and flush telemetry.
-	fmt.Fprintln(os.Stderr, "whisperd: draining (signal again to exit immediately)")
+	log.Info("draining", slog.Duration("timeout", *drainTimeout),
+		slog.String("hint", "signal again to exit immediately"))
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "whisperd: drain: %v\n", err)
+		log.Error("drain failed", slog.String("error", err.Error()))
 	}
 	if err := hs.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "whisperd: http shutdown: %v\n", err)
+		log.Error("http shutdown failed", slog.String("error", err.Error()))
+	}
+	if dbg != nil {
+		dbg.Close()
 	}
 	if *traceOut != "" {
 		if err := reg.WriteTraceFile(*traceOut, nil); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "whisperd: trace written to %s\n", *traceOut)
+		log.Info("trace written", slog.String("path", *traceOut))
 	}
 	if *metricsOut != "" {
 		if err := reg.WriteMetricsFile(*metricsOut); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "whisperd: metrics written to %s\n", *metricsOut)
+		log.Info("metrics written", slog.String("path", *metricsOut))
 	}
-	fmt.Fprintln(os.Stderr, "whisperd: drained, bye")
+	log.Info("drained, bye")
 }
 
-func fatal(err error) {
-	if errors.Is(err, http.ErrServerClosed) {
-		return
-	}
-	fmt.Fprintln(os.Stderr, "whisperd:", err)
-	os.Exit(1)
+// debugMux mounts the stdlib profiling surface on a dedicated mux, so the
+// opt-in -debug-addr listener — never the serving one — exposes it.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -2,7 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
+	"time"
+
+	"whisper/internal/obs/logging"
 )
 
 // SweepParams sizes one sweep invocation. It is the serializable subset of
@@ -172,9 +176,24 @@ func RunSweep(ex Exec, name string, p SweepParams) (SweepResult, error) {
 		return SweepResult{}, fmt.Errorf("experiments: unknown sweep %q (have %v)", name, Sweeps())
 	}
 	p = p.Normalize()
+	ctx := ex.ctx()
+	if log := logging.From(ctx); log.Enabled(ctx, slog.LevelDebug) {
+		log.LogAttrs(ctx, slog.LevelDebug, "sweep started",
+			slog.String("sweep", name), slog.Int64("seed", p.Seed),
+			slog.Int("parallel", ex.Parallel))
+	}
+	start := time.Now()
 	res, rendered, err := run(ex, p)
 	if err != nil {
+		logging.From(ctx).LogAttrs(ctx, slog.LevelError, "sweep failed",
+			slog.String("sweep", name), slog.Int64("seed", p.Seed),
+			slog.Duration("dur", time.Since(start)), slog.String("error", err.Error()))
 		return SweepResult{}, err
+	}
+	if log := logging.From(ctx); log.Enabled(ctx, slog.LevelDebug) {
+		log.LogAttrs(ctx, slog.LevelDebug, "sweep finished",
+			slog.String("sweep", name), slog.Int64("seed", p.Seed),
+			slog.Duration("dur", time.Since(start)))
 	}
 	return SweepResult{Name: name, Result: res, Rendered: rendered}, nil
 }

@@ -193,8 +193,9 @@ func (r *Registry) WriteTraceFile(path string, counterEvents []pmu.Event) error 
 }
 
 // WriteMetricsFile dumps the registry snapshot to path — JSON when the path
-// ends in .json, the aligned text table otherwise. Nil-safe (a disabled
-// registry writes an empty snapshot).
+// ends in .json, Prometheus text exposition when it ends in .prom, the
+// aligned text table otherwise. Nil-safe (a disabled registry writes an
+// empty snapshot).
 func (r *Registry) WriteMetricsFile(path string) error {
 	s := r.Snapshot()
 	f, err := os.Create(path)
@@ -202,9 +203,12 @@ func (r *Registry) WriteMetricsFile(path string) error {
 		return err
 	}
 	var werr error
-	if strings.HasSuffix(path, ".json") {
+	switch {
+	case strings.HasSuffix(path, ".json"):
 		werr = s.WriteJSON(f)
-	} else {
+	case strings.HasSuffix(path, ".prom"):
+		werr = s.WritePrometheus(f)
+	default:
 		werr = s.WriteText(f)
 	}
 	if cerr := f.Close(); werr == nil {

@@ -1,0 +1,113 @@
+package logging_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"DEBUG":   slog.LevelDebug,
+		" warn ":  slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"error":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := logging.ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := logging.ParseLevel("loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestNewFormatsAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := logging.New(logging.Options{Level: "info", Format: "json", Output: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", slog.String("k", "v"))
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("JSON logger wrote non-JSON: %q", buf.String())
+	}
+	if line["msg"] != "hello" || line["k"] != "v" {
+		t.Fatalf("line = %v", line)
+	}
+
+	buf.Reset()
+	log, err = logging.New(logging.Options{Format: "text", Output: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello")
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Fatalf("text logger output: %q", buf.String())
+	}
+
+	if _, err := logging.New(logging.Options{Format: "xml", Output: &buf}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := logging.New(logging.Options{Level: "loud", Output: &buf}); err == nil {
+		t.Error("unknown level accepted")
+	}
+	// nil Output means discard, regardless of the other options.
+	log, err = logging.New(logging.Options{Level: "loud", Format: "xml"})
+	if err != nil || log == nil {
+		t.Fatalf("nil-output logger: %v, %v", log, err)
+	}
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("discard logger reports a level enabled")
+	}
+}
+
+func TestFromNeverNilAndDisabled(t *testing.T) {
+	ctx := context.Background()
+	log := logging.From(ctx)
+	if log == nil {
+		t.Fatal("From returned nil")
+	}
+	if log.Enabled(ctx, slog.LevelError) {
+		t.Fatal("default logger must be disabled at every level")
+	}
+	if got := logging.From(nil); got == nil { //nolint:staticcheck // nil-safety is the contract under test
+		t.Fatal("From(nil) returned nil")
+	}
+
+	var buf bytes.Buffer
+	real := slog.New(slog.NewJSONHandler(&buf, nil))
+	ctx = logging.With(ctx, real)
+	if logging.From(ctx) != real {
+		t.Fatal("With/From round trip lost the logger")
+	}
+}
+
+func TestWithRequestIDBindsBothCarriers(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	ctx := logging.WithRequestID(context.Background(), log, "req-42")
+
+	if got := obs.RequestIDFrom(ctx); got != "req-42" {
+		t.Fatalf("obs carrier = %q", got)
+	}
+	logging.From(ctx).Info("event")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line[obs.RequestIDAttr] != "req-42" {
+		t.Fatalf("log line missing bound request_id: %v", line)
+	}
+}

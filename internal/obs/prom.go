@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for Snapshot, so a standard
+// scraper can consume whisperd's /metrics directly. The registry's internal
+// "name{k=v,...}" keys map onto Prometheus series as:
+//
+//   - metric and label names: every character outside [a-zA-Z0-9_] becomes
+//     '_' ("server.cache.hits" → "server_cache_hits"); a leading digit gains
+//     a '_' prefix
+//   - label values: quoted with \\, \n and \" escaped per the format spec
+//   - counters → counter, gauges → gauge, cycle histograms → summary with
+//     quantile series (0.5/0.9/0.95/0.99) plus _count, _min and _max
+//
+// One family (all series sharing a name) is announced by exactly one
+// HELP/TYPE pair immediately before its samples, and families are emitted in
+// sorted order, so the output is deterministic — the golden-file test and
+// the CI format lint both rely on that.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric or label name into a legal Prometheus
+// identifier.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// parseMetricKey splits a registry key "name{k=v,k=v}" back into its name
+// and labels. Label values in registry keys never contain '{', ',' or '='
+// in practice (they are experiment/pool/tier names); a malformed key
+// degrades to a label-less metric rather than corrupt output.
+func parseMetricKey(key string) (name string, labels []Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name = key[:open]
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, nil
+	}
+	for _, kv := range strings.Split(body, ",") {
+		eq := strings.IndexByte(kv, '=')
+		if eq < 0 {
+			return key, nil
+		}
+		labels = append(labels, Label{Key: kv[:eq], Value: kv[eq+1:]})
+	}
+	return name, labels
+}
+
+// promSeries renders one sample line: name{labels} value. extra labels (the
+// summary's quantile) are appended after the registry labels.
+func promSeries(b *strings.Builder, name string, labels []Label, extra []Label, value string) {
+	b.WriteString(name)
+	if len(labels)+len(extra) > 0 {
+		b.WriteByte('{')
+		n := 0
+		for _, set := range [2][]Label{labels, extra} {
+			for _, l := range set {
+				if n > 0 {
+					b.WriteByte(',')
+				}
+				n++
+				b.WriteString(promName(l.Key))
+				b.WriteString(`="`)
+				b.WriteString(promEscape(l.Value))
+				b.WriteString(`"`)
+			}
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// promFamily is one exposition family: every series sharing a sanitized
+// metric name, with its HELP/TYPE header.
+type promFamily struct {
+	name  string
+	typ   string
+	help  string
+	lines strings.Builder
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, deterministically ordered.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	families := map[string]*promFamily{}
+	family := func(name, typ, help string) *promFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamily{name: name, typ: typ, help: help}
+			families[name] = f
+		}
+		return f
+	}
+
+	counters, gauges, hists := s.sortedKeys()
+	for _, k := range counters {
+		name, labels := parseMetricKey(k)
+		pn := promName(name)
+		f := family(pn, "counter", "whisper counter "+name)
+		promSeries(&f.lines, pn, labels, nil, strconv.FormatUint(s.Counters[k], 10))
+	}
+	for _, k := range gauges {
+		name, labels := parseMetricKey(k)
+		pn := promName(name)
+		f := family(pn, "gauge", "whisper gauge "+name)
+		promSeries(&f.lines, pn, labels, nil, formatPromFloat(s.Gauges[k]))
+	}
+	for _, k := range hists {
+		name, labels := parseMetricKey(k)
+		h := s.Histograms[k]
+		pn := promName(name)
+		f := family(pn, "summary", "whisper cycle histogram "+name)
+		for _, q := range [...]struct {
+			q string
+			v uint64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			promSeries(&f.lines, pn, labels, []Label{{Key: "quantile", Value: q.q}}, strconv.FormatUint(q.v, 10))
+		}
+		promSeries(&f.lines, pn+"_count", labels, nil, strconv.Itoa(h.N))
+		fmin := family(pn+"_min", "gauge", "whisper histogram minimum "+name)
+		promSeries(&fmin.lines, pn+"_min", labels, nil, strconv.FormatUint(h.Min, 10))
+		fmax := family(pn+"_max", "gauge", "whisper histogram maximum "+name)
+		promSeries(&fmax.lines, pn+"_max", labels, nil, strconv.FormatUint(h.Max, 10))
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out strings.Builder
+	for _, name := range names {
+		f := families[name]
+		fmt.Fprintf(&out, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		out.WriteString(f.lines.String())
+	}
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+// formatPromFloat renders a gauge value; Prometheus accepts Go's shortest
+// float form.
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// LintPrometheus validates a text exposition stream the way the CI format
+// gate does: legal metric/label names, parseable sample values, every
+// sample's family announced by a preceding HELP+TYPE pair, known TYPE
+// values, no duplicate series, and summary families that carry a _count.
+// It returns every violation found (nil means the input lints clean).
+func LintPrometheus(r io.Reader) []error {
+	var errs []error
+	scan := bufio.NewScanner(r)
+	scan.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	types := map[string]string{} // family → TYPE
+	helped := map[string]bool{}
+	seen := map[string]bool{} // full series (name+labels) → emitted
+	summaryCount := map[string]bool{}
+	sampleSeen := false
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := scan.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, family, rest, ok := parsePromComment(line)
+			if !ok {
+				continue // free-form comment: legal, ignored
+			}
+			if !validPromName(family) {
+				errs = append(errs, fmt.Errorf("line %d: invalid metric name %q in %s", lineNo, family, kind))
+				continue
+			}
+			switch kind {
+			case "HELP":
+				helped[family] = true
+			case "TYPE":
+				if _, dup := types[family]; dup {
+					errs = append(errs, fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, family))
+				}
+				switch rest {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+					types[family] = rest
+				default:
+					errs = append(errs, fmt.Errorf("line %d: unknown TYPE %q for family %q", lineNo, rest, family))
+				}
+			}
+			continue
+		}
+		sampleSeen = true
+		series, name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %v", lineNo, err))
+			continue
+		}
+		if !validPromName(name) {
+			errs = append(errs, fmt.Errorf("line %d: invalid metric name %q", lineNo, name))
+		}
+		for _, l := range labels {
+			if !validPromLabelName(l.Key) {
+				errs = append(errs, fmt.Errorf("line %d: invalid label name %q", lineNo, l.Key))
+			}
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			errs = append(errs, fmt.Errorf("line %d: unparseable sample value %q", lineNo, value))
+		}
+		if seen[series] {
+			errs = append(errs, fmt.Errorf("line %d: duplicate series %s", lineNo, series))
+		}
+		seen[series] = true
+		family := promSampleFamily(name, types)
+		if _, ok := types[family]; !ok {
+			errs = append(errs, fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name))
+		} else if !helped[family] {
+			errs = append(errs, fmt.Errorf("line %d: family %q has TYPE but no HELP", lineNo, family))
+		}
+		if types[family] == "summary" && name == family+"_count" {
+			summaryCount[family] = true
+		}
+	}
+	if err := scan.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	if !sampleSeen {
+		errs = append(errs, fmt.Errorf("no samples in exposition"))
+	}
+	for family, typ := range types {
+		if typ == "summary" && !summaryCount[family] {
+			errs = append(errs, fmt.Errorf("summary family %q missing %s_count", family, family))
+		}
+	}
+	return errs
+}
+
+// parsePromComment splits "# HELP name text" / "# TYPE name type" lines.
+func parsePromComment(line string) (kind, family, rest string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	return fields[1], fields[2], strings.Join(fields[3:], " "), true
+}
+
+// parsePromSample splits one sample line into its series identity (name plus
+// the raw label block), bare name, labels, and value text.
+func parsePromSample(line string) (series, name string, labels []Label, value string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", "", nil, "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, err = parsePromLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", "", nil, "", err
+		}
+		series = rest[:end+1]
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", nil, "", fmt.Errorf("sample without value: %q", line)
+		}
+		name = rest[:sp]
+		series = name
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	// value [timestamp]
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", nil, "", fmt.Errorf("expected 'value [timestamp]' after series in %q", line)
+	}
+	return series, name, labels, fields[0], nil
+}
+
+// parsePromLabels parses the inside of a label block: k="v",k="v".
+func parsePromLabels(body string) ([]Label, error) {
+	var labels []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", body)
+		}
+		key := body[i : i+eq]
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", body)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(body) {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				val.WriteByte(body[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in %q", body)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// promSampleFamily maps a sample name back to its announced family: summary
+// and histogram component suffixes (_count, _sum, _bucket) fold into the
+// base family when that family was TYPEd.
+func promSampleFamily(name string, types map[string]string) string {
+	for _, suffix := range [...]string{"_count", "_sum", "_bucket"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "summary" || t == "histogram") {
+			return base
+		}
+	}
+	return name
+}
+
+// validPromName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*
+// and is not a reserved __ name.
+func validPromLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"whisper/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promRegistry builds a deterministic registry exercising every metric kind
+// and the label/name characters the exposition must sanitize.
+func promRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("server.requests", obs.L("experiment", "table2")).Add(3)
+	r.Counter("server.requests", obs.L("experiment", "kaslr")).Add(1)
+	r.Counter("server.cache.hits", obs.L("tier", "memory")).Add(2)
+	r.Counter("server.cache.misses").Inc()
+	r.Gauge("server.queue.inflight").Set(2)
+	r.Gauge("core.threshold", obs.L("cpu", `Kaby "Lake"`)).Set(120.5)
+	h := r.Histogram("server.request.us", obs.L("experiment", "table2"))
+	for _, v := range []uint64{100, 200, 200, 400, 1000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition bytes: deterministic family
+// and series ordering, sanitized names, escaped label values, summary
+// quantiles. Regenerate with `go test ./internal/obs -run Golden -update`.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("prometheus exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWritePrometheusDeterministic pins that two snapshots of the same state
+// render byte-identically (map iteration must never leak into the output).
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := promRegistry()
+	var a, b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("exposition not deterministic:\n%s\n---\n%s", a.Bytes(), b.Bytes())
+	}
+}
+
+// TestWritePrometheusLintClean feeds the writer's own output to the linter —
+// the invariant the CI smoke job checks against a live /metrics scrape.
+func TestWritePrometheusLintClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if errs := obs.LintPrometheus(&buf); len(errs) != 0 {
+		t.Fatalf("own exposition fails lint: %v", errs)
+	}
+	out := func() string {
+		var b bytes.Buffer
+		promRegistry().Snapshot().WritePrometheus(&b)
+		return b.String()
+	}()
+	for _, want := range []string{
+		`server_requests{experiment="table2"} 3`,
+		`server_request_us{experiment="table2",quantile="0.99"}`,
+		`server_request_us_count{experiment="table2"} 5`,
+		`cpu="Kaby \"Lake\""`,
+		"# TYPE server_requests counter",
+		"# TYPE server_request_us summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintPrometheusCatches feeds the linter known-bad expositions.
+func TestLintPrometheusCatches(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad name":       "2foo 1\n",
+		"bad value":      "foo bar\n",
+		"bad label name": `foo{2x="y"} 1` + "\n",
+		"type after sample": "foo 1\n" +
+			"# TYPE foo counter\nfoo 2\n",
+		"duplicate series": `foo{a="b"} 1` + "\n" + `foo{a="b"} 2` + "\n",
+		"summary without count": "# TYPE s summary\n" +
+			`s{quantile="0.5"} 1` + "\n",
+	}
+	for name, in := range cases {
+		if errs := obs.LintPrometheus(strings.NewReader(in)); len(errs) == 0 {
+			t.Errorf("%s: lint accepted %q", name, in)
+		}
+	}
+	good := "# HELP foo help\n# TYPE foo counter\nfoo 1\n"
+	if errs := obs.LintPrometheus(strings.NewReader(good)); len(errs) != 0 {
+		t.Errorf("lint rejected valid exposition: %v", errs)
+	}
+}

@@ -141,6 +141,8 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Min: h.h.Quantile(0),
 		P50: h.h.Quantile(0.5),
 		P90: h.h.Quantile(0.9),
+		P95: h.h.Quantile(0.95),
+		P99: h.h.Quantile(0.99),
 		Max: h.h.Quantile(1),
 	}
 }
@@ -288,12 +290,15 @@ func (r *Registry) PMUSamples() []PMUSample {
 	return append([]PMUSample(nil), r.pmuSamples...)
 }
 
-// HistogramSnapshot summarises one cycle histogram.
+// HistogramSnapshot summarises one cycle histogram. The tail quantiles
+// (P95/P99) are what the serving path's latency histograms are scraped for.
 type HistogramSnapshot struct {
 	N   int
 	Min uint64
 	P50 uint64
 	P90 uint64
+	P95 uint64
+	P99 uint64
 	Max uint64
 }
 
@@ -398,8 +403,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	}
 	for _, k := range hists {
 		h := s.Histograms[k]
-		if _, err := fmt.Fprintf(w, "histogram %-48s n=%d min=%d p50=%d p90=%d max=%d\n",
-			k, h.N, h.Min, h.P50, h.P90, h.Max); err != nil {
+		if _, err := fmt.Fprintf(w, "histogram %-48s n=%d min=%d p50=%d p90=%d p95=%d p99=%d max=%d\n",
+			k, h.N, h.Min, h.P50, h.P90, h.P95, h.P99, h.Max); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request IDs tie one serving-path request to everything it caused: the
+// whisperd access-log line, the X-Whisper-Request-Id response header, the
+// span attributes of the Perfetto trace (server.run.* and every sched job
+// span the execution sharded into), and the offline obsreport rendering of
+// those artifacts. The ID lives on the context.Context the handler threads
+// through internal/experiments into internal/sched, so no layer needs a new
+// parameter to participate.
+//
+// The ID is observability-only: it never reaches the simulation or the
+// request hash, so it provably cannot change a result byte.
+
+// reqidCtxKey is the context key type for the request ID (unexported so only
+// this package can mint the key).
+type reqidCtxKey struct{}
+
+// RequestIDAttr is the canonical attribute/field name the ID is recorded
+// under — in span attributes, slog lines, and obsreport output alike.
+const RequestIDAttr = "request_id"
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqidCtxKey{}, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "" when none is set.
+// It is allocation-free, so hot paths may call it unconditionally.
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(reqidCtxKey{}).(string)
+	return id
+}
+
+// reqidFallback feeds NewRequestID when the system randomness source fails;
+// the counter keeps IDs unique within the process either way.
+var reqidFallback atomic.Uint64
+
+// NewRequestID mints a fresh 16-hex-char request ID. IDs only need to be
+// unique across the requests one artifact set can contain, not
+// cryptographically strong; randomness just makes collisions across daemon
+// restarts vanishingly unlikely.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%012x", reqidFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidRequestID reports whether a caller-supplied ID is acceptable to echo
+// into headers, logs and traces: non-empty, bounded, and free of control or
+// separator characters. Anything else is replaced by a generated ID rather
+// than rejected — the ID is a correlation courtesy, not an input contract.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+
+	"whisper/internal/obs"
+)
+
+func TestRequestIDContextRoundTrip(t *testing.T) {
+	if got := obs.RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("bare context carries ID %q", got)
+	}
+	if got := obs.RequestIDFrom(nil); got != "" { //nolint:staticcheck // nil-safety is the contract under test
+		t.Fatalf("nil context carries ID %q", got)
+	}
+	ctx := obs.WithRequestID(context.Background(), "abc123")
+	if got := obs.RequestIDFrom(ctx); got != "abc123" {
+		t.Fatalf("round trip = %q", got)
+	}
+	// Empty IDs do not overwrite an inherited one.
+	if got := obs.RequestIDFrom(obs.WithRequestID(ctx, "")); got != "abc123" {
+		t.Fatalf("empty ID clobbered inherited one: %q", got)
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := obs.NewRequestID()
+		if !obs.ValidRequestID(id) {
+			t.Fatalf("generated ID %q not valid", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate generated ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	valid := []string{"a", "deadbeef", "req-1_2.3", "A-Z"}
+	for _, id := range valid {
+		if !obs.ValidRequestID(id) {
+			t.Errorf("rejected valid ID %q", id)
+		}
+	}
+	invalid := []string{
+		"",
+		"has space",
+		"new\nline",
+		"header:inject",
+		"non-ascii-é",
+		string(make([]byte, 65)),
+	}
+	for _, id := range invalid {
+		if obs.ValidRequestID(id) {
+			t.Errorf("accepted invalid ID %q", id)
+		}
+	}
+}

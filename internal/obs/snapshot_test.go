@@ -1,0 +1,76 @@
+package obs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whisper/internal/obs"
+)
+
+// TestWriteTextDeterministicOrdering pins that the text rendering sorts keys
+// (not map order) and carries the full percentile ladder, so diffs between
+// two -metrics-out files are meaningful.
+func TestWriteTextDeterministicOrdering(t *testing.T) {
+	build := func(order []string) string {
+		r := obs.NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Inc()
+		}
+		r.Histogram("lat").Observe(7)
+		var buf bytes.Buffer
+		if err := r.Snapshot().WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := build([]string{"zz", "aa", "mm"})
+	b := build([]string{"mm", "zz", "aa"})
+	if a != b {
+		t.Fatalf("text rendering depends on insertion order:\n%s\n---\n%s", a, b)
+	}
+	if strings.Index(a, "aa") > strings.Index(a, "zz") {
+		t.Fatalf("counters not sorted:\n%s", a)
+	}
+	for _, q := range []string{"p50=7", "p90=7", "p95=7", "p99=7"} {
+		if !strings.Contains(a, q) {
+			t.Fatalf("histogram line missing %s:\n%s", q, a)
+		}
+	}
+}
+
+// TestSnapshotDeltaBucketGrowth pins Delta across histograms whose bucket
+// sets differ between the two snapshots — the /metrics?since shape where new
+// value ranges appear only after the baseline was taken.
+func TestSnapshotDeltaBucketGrowth(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(10)
+	before := r.Snapshot()
+
+	// Larger magnitudes than anything in `before`: these land in buckets the
+	// baseline snapshot has never seen.
+	for _, v := range []uint64{100000, 200000, 400000} {
+		h.Observe(v)
+	}
+	r.Counter("new.counter").Add(5) // metric born after the baseline
+	after := r.Snapshot()
+
+	d := after.Delta(before)
+	hd := d.Histograms["h"]
+	if hd.N != 3 {
+		t.Fatalf("histogram delta N = %d, want 3", hd.N)
+	}
+	// Percentiles come from the delta'd bucket counts, so they must reflect
+	// only the post-baseline observations (min/max stay all-time: extrema
+	// cannot be subtracted).
+	if hd.P50 < 100000 || hd.P99 < 100000 {
+		t.Fatalf("delta percentiles include pre-baseline observations: %+v", hd)
+	}
+	if hd.Max < 400000 {
+		t.Fatalf("delta lost the new maximum: %+v", hd)
+	}
+	if d.Counters["new.counter"] != 5 {
+		t.Fatalf("metric born after baseline lost: %v", d.Counters)
+	}
+}

@@ -1,0 +1,106 @@
+package sched_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+
+	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
+	"whisper/internal/sched"
+)
+
+// TestJobSpansCarryRequestID checks every job span inherits the request ID
+// riding on the Map context — the link obsreport uses to attribute scheduler
+// work to the serving request that caused it.
+func TestJobSpansCarryRequestID(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRequestID(context.Background(), "sched-req-1")
+	jobs := []sched.Job[int]{
+		{Key: "a", Run: func(ctx context.Context, seed int64) (int, error) { return 1, nil }},
+		{Key: "b", Run: func(ctx context.Context, seed int64) (int, error) { return 2, nil }},
+	}
+	if _, err := sched.Map(ctx, sched.Options{Name: "pool", Parallel: 2, Obs: reg}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	tf := reg.BuildTrace(nil)
+	var tagged int
+	for _, ev := range tf.TraceEvents {
+		if ev.Cat == "span" && ev.Args[obs.RequestIDAttr] == "sched-req-1" {
+			tagged++
+		}
+	}
+	if tagged != len(jobs) {
+		t.Fatalf("%d spans carry the request ID, want %d", tagged, len(jobs))
+	}
+
+	// Without an ID on the context, spans must not grow an empty attribute.
+	reg2 := obs.NewRegistry()
+	sched.Map(context.Background(), sched.Options{Name: "pool", Obs: reg2}, jobs)
+	for _, ev := range reg2.BuildTrace(nil).TraceEvents {
+		if ev.Cat != "span" {
+			continue
+		}
+		if _, ok := ev.Args[obs.RequestIDAttr]; ok {
+			t.Fatal("untagged run produced a request_id span attribute")
+		}
+	}
+}
+
+// TestPanicAndCancellationLogged checks worker panics and pool cancellation
+// surface as structured log events keyed by the context's request ID.
+func TestPanicAndCancellationLogged(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	ctx := logging.WithRequestID(context.Background(), log, "sched-req-2")
+
+	jobs := []sched.Job[int]{
+		{Key: "boom", Run: func(ctx context.Context, seed int64) (int, error) { panic("kaput") }},
+	}
+	if _, err := sched.Map(ctx, sched.Options{Name: "pool"}, jobs); err == nil {
+		t.Fatal("panicking job did not surface an error")
+	}
+	line := decodeLogLine(t, &buf, "sched job panicked")
+	if line["pool"] != "pool" || line["job"] != "boom" || line[obs.RequestIDAttr] != "sched-req-2" {
+		t.Fatalf("panic event = %v", line)
+	}
+
+	buf.Reset()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	many := make([]sched.Job[int], 8)
+	for i := range many {
+		i := i
+		many[i] = sched.Job[int]{Key: string(rune('a' + i)), Run: func(ctx context.Context, seed int64) (int, error) { return i, nil }}
+	}
+	if _, err := sched.Map(cctx, sched.Options{Name: "pool"}, many); err == nil {
+		t.Fatal("cancelled Map reported success")
+	}
+	line = decodeLogLine(t, &buf, "sched pool cancelled")
+	if line["pool"] != "pool" || line[obs.RequestIDAttr] != "sched-req-2" {
+		t.Fatalf("cancellation event = %v", line)
+	}
+	if line["dropped"].(float64) <= 0 {
+		t.Fatalf("cancellation event reports no dropped jobs: %v", line)
+	}
+}
+
+// decodeLogLine scans buf for the JSON line with the given msg.
+func decodeLogLine(t *testing.T, buf *bytes.Buffer, msg string) map[string]any {
+	t.Helper()
+	scan := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for scan.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(scan.Bytes(), &line); err != nil {
+			t.Fatalf("log line is not JSON: %q", scan.Text())
+		}
+		if line["msg"] == msg {
+			return line
+		}
+	}
+	t.Fatalf("no %q event in log:\n%s", msg, buf.String())
+	return nil
+}

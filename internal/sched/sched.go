@@ -29,6 +29,7 @@ package sched
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
 )
 
 // Job is one independent simulation cell.
@@ -130,6 +132,13 @@ func Map[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
 	}
 	wg.Wait()
 	opts.Obs.Counter("sched.worker.busy.us", lbl).Add(uint64(busy.Load() / 1e3))
+	if ctx.Err() != nil && int(started.Load()) < len(jobs) {
+		logging.From(ctx).LogAttrs(ctx, slog.LevelWarn, "sched pool cancelled",
+			slog.String("pool", opts.Name),
+			slog.Int("started", int(started.Load())),
+			slog.Int("dropped", len(jobs)-int(started.Load())),
+			slog.String("error", ctx.Err().Error()))
+	}
 
 	// A serial loop surfaces the first failure it meets; the parallel pool
 	// reports the same one — the lowest-index error — so error behaviour is
@@ -147,9 +156,15 @@ func Map[T any](ctx context.Context, opts Options, jobs []Job[T]) ([]T, error) {
 	return results, nil
 }
 
-// runOne executes a single job with panic recovery and telemetry.
+// runOne executes a single job with panic recovery and telemetry. The span
+// inherits the request ID riding on ctx (if any), so a served request is
+// traceable from its access-log line down to each scheduler job it sharded
+// into; worker panics surface as error-level log events the same way.
 func runOne[T any](ctx context.Context, opts Options, lbl obs.Label, job Job[T], out *T, errOut *error, busy *atomic.Int64) {
 	sp := opts.Obs.StartDetachedWallSpan(spanName(opts.Name, job.Key))
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		sp.Attr(obs.RequestIDAttr, id)
+	}
 	start := time.Now()
 	defer func() {
 		d := time.Since(start)
@@ -158,6 +173,9 @@ func runOne[T any](ctx context.Context, opts Options, lbl obs.Label, job Job[T],
 		if r := recover(); r != nil {
 			*errOut = fmt.Errorf("sched: job %q panicked: %v\n%s", job.Key, r, debug.Stack())
 			opts.Obs.Counter("sched.jobs.panicked", lbl).Inc()
+			logging.From(ctx).LogAttrs(ctx, slog.LevelError, "sched job panicked",
+				slog.String("pool", opts.Name), slog.String("job", job.Key),
+				slog.String("panic", fmt.Sprint(r)))
 		}
 		if *errOut != nil {
 			sp.Attr("error", (*errOut).Error())

@@ -54,27 +54,33 @@ func newCache(maxEntries int, dir string, reg *obs.Registry) (*cache, error) {
 	return c, nil
 }
 
-// get returns the cached body for hash, consulting memory then disk. A disk
-// hit is promoted into the memory tier.
-func (c *cache) get(hash string) ([]byte, bool) {
+// Cache tier names, reported in metrics labels and cache-hit log events.
+const (
+	tierMemory = "memory"
+	tierDisk   = "disk"
+)
+
+// get returns the cached body for hash and the tier that served it,
+// consulting memory then disk. A disk hit is promoted into the memory tier.
+func (c *cache) get(hash string) (body []byte, tier string, ok bool) {
 	c.mu.Lock()
 	if el, ok := c.entries[hash]; ok {
 		c.order.MoveToFront(el)
 		body := el.Value.(*cacheEntry).body
 		c.mu.Unlock()
-		c.reg.Counter("server.cache.hits", obs.L("tier", "memory")).Inc()
-		return body, true
+		c.reg.Counter("server.cache.hits", obs.L("tier", tierMemory)).Inc()
+		return body, tierMemory, true
 	}
 	c.mu.Unlock()
 	if c.disk != nil {
 		if body, ok := c.disk.get(hash); ok {
-			c.reg.Counter("server.cache.hits", obs.L("tier", "disk")).Inc()
+			c.reg.Counter("server.cache.hits", obs.L("tier", tierDisk)).Inc()
 			c.putMemory(hash, body)
-			return body, true
+			return body, tierDisk, true
 		}
 	}
 	c.reg.Counter("server.cache.misses").Inc()
-	return nil, false
+	return nil, "", false
 }
 
 // put stores a freshly computed body in every tier.

@@ -18,15 +18,15 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
-	if _, ok := c.get("a"); !ok { // touches a: b becomes the LRU entry
+	if _, _, ok := c.get("a"); !ok { // touches a: b becomes the LRU entry
 		t.Fatal("a missing before capacity was reached")
 	}
 	c.put("c", []byte("C"))
-	if _, ok := c.get("b"); ok {
+	if _, _, ok := c.get("b"); ok {
 		t.Fatal("LRU entry b survived eviction")
 	}
 	for _, h := range []string{"a", "c"} {
-		if _, ok := c.get(h); !ok {
+		if _, _, ok := c.get(h); !ok {
 			t.Fatalf("%s evicted although it was not the LRU entry", h)
 		}
 	}
@@ -53,14 +53,17 @@ func TestCacheDiskSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c2.get("aa11")
+	got, tier, ok := c2.get("aa11")
 	if !ok || !bytes.Equal(got, body) {
 		t.Fatalf("disk entry not served after restart: ok=%v body=%q", ok, got)
+	}
+	if tier != tierDisk {
+		t.Fatalf("hit attributed to tier %q, want %q", tier, tierDisk)
 	}
 	if reg.Counter("server.cache.hits", obs.L("tier", "disk")).Value() != 1 {
 		t.Fatal("hit not attributed to the disk tier")
 	}
-	if _, ok := c2.get("aa11"); !ok {
+	if _, tier, ok := c2.get("aa11"); !ok || tier != tierMemory {
 		t.Fatal("disk hit not promoted to memory")
 	}
 	if reg.Counter("server.cache.hits", obs.L("tier", "memory")).Value() != 1 {

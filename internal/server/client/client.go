@@ -2,6 +2,12 @@
 // experiment requests, surfaces the cache path each response took, and
 // honours the daemon's backpressure by retrying 429s with the advertised
 // Retry-After delay. cmd/whisper's -remote mode is a thin wrapper over it.
+//
+// Every Run call mints one request ID (or adopts the one riding on ctx via
+// obs.WithRequestID) and sends it on each attempt, so all retries of a call
+// correlate to a single ID in the daemon's access log; failures carry the
+// server-assigned ID back in the returned error. Wire a *slog.Logger into
+// Log to see retry waits and final failures as structured events.
 package client
 
 import (
@@ -10,12 +16,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 
 	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
 	"whisper/internal/server"
 )
 
@@ -28,6 +36,10 @@ type Client struct {
 	HTTP *http.Client
 	// MaxRetries bounds 429 retries per Run call (0: DefaultMaxRetries).
 	MaxRetries int
+	// Log receives structured retry/failure events; nil means the logger
+	// carried on the call's context (logging.From), which defaults to
+	// discard.
+	Log *slog.Logger
 }
 
 // DefaultMaxRetries is the 429-retry budget when none is configured.
@@ -48,6 +60,31 @@ func (c *Client) httpClient() *http.Client {
 	return &http.Client{}
 }
 
+// logger resolves the event sink for one call.
+func (c *Client) logger(ctx context.Context) *slog.Logger {
+	if c.Log != nil {
+		return c.Log
+	}
+	return logging.From(ctx)
+}
+
+// Error is a non-200 daemon reply, decoded from the server's JSON error
+// envelope when possible. RequestID is the server-assigned correlation key —
+// quote it when reporting a daemon-side failure.
+type Error struct {
+	Status    int    // HTTP status code
+	Msg       string // server-reported message (or raw body)
+	RequestID string // X-Whisper-Request-Id of the failing exchange
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("client: daemon replied %d: %s", e.Status, e.Msg)
+	if e.RequestID != "" {
+		msg += " (request " + e.RequestID + ")"
+	}
+	return msg
+}
+
 // Run executes req on the daemon and returns the decoded envelope, the raw
 // canonical body bytes, and the cache path ("miss", "hit", "coalesced") the
 // daemon reported. 429 responses are retried with the server's Retry-After
@@ -61,8 +98,13 @@ func (c *Client) Run(ctx context.Context, req server.Request) (*server.Result, [
 	if retries <= 0 {
 		retries = DefaultMaxRetries
 	}
+	reqID := obs.RequestIDFrom(ctx)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	log := c.logger(ctx)
 	for attempt := 0; ; attempt++ {
-		body, cachePath, retryAfter, err := c.post(ctx, payload)
+		body, cachePath, retryAfter, err := c.post(ctx, payload, reqID)
 		if err == nil {
 			var res server.Result
 			if err := json.Unmarshal(body, &res); err != nil {
@@ -71,8 +113,17 @@ func (c *Client) Run(ctx context.Context, req server.Request) (*server.Result, [
 			return &res, body, cachePath, nil
 		}
 		if retryAfter < 0 || attempt >= retries {
+			log.LogAttrs(ctx, slog.LevelWarn, "daemon request failed",
+				slog.String(obs.RequestIDAttr, reqID),
+				slog.Int("attempts", attempt+1),
+				slog.String("error", err.Error()))
 			return nil, nil, "", err
 		}
+		log.LogAttrs(ctx, slog.LevelInfo, "daemon busy, backing off",
+			slog.String(obs.RequestIDAttr, reqID),
+			slog.Int("attempt", attempt+1),
+			slog.Int("budget", retries),
+			slog.Duration("retry_after", retryAfter))
 		select {
 		case <-time.After(retryAfter):
 		case <-ctx.Done():
@@ -83,12 +134,15 @@ func (c *Client) Run(ctx context.Context, req server.Request) (*server.Result, [
 
 // post does one POST /v1/run round trip. retryAfter >= 0 marks a retryable
 // 429 and carries the server's requested delay.
-func (c *Client) post(ctx context.Context, payload []byte) (body []byte, cachePath string, retryAfter time.Duration, err error) {
+func (c *Client) post(ctx context.Context, payload []byte, reqID string) (body []byte, cachePath string, retryAfter time.Duration, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/run", bytes.NewReader(payload))
 	if err != nil {
 		return nil, "", -1, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		hreq.Header.Set(server.RequestIDHeader, reqID)
+	}
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return nil, "", -1, err
@@ -100,16 +154,35 @@ func (c *Client) post(ctx context.Context, payload []byte) (body []byte, cachePa
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		return body, resp.Header.Get("X-Whisper-Cache"), -1, nil
+		return body, resp.Header.Get(server.CacheHeader), -1, nil
 	case resp.StatusCode == http.StatusTooManyRequests:
 		after := time.Second
 		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
 			after = time.Duration(v) * time.Second
 		}
-		return nil, "", after, fmt.Errorf("client: daemon at capacity (429)")
+		return nil, "", after, decodeError(resp, body)
 	default:
-		return nil, "", -1, fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return nil, "", -1, decodeError(resp, body)
 	}
+}
+
+// decodeError builds an *Error from a non-200 reply, preferring the JSON
+// error envelope and falling back to the raw body; the request ID comes from
+// the envelope or, failing that, the response header.
+func decodeError(resp *http.Response, body []byte) error {
+	e := &Error{Status: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+	var env struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != "" {
+		e.Msg = env.Error
+		e.RequestID = env.RequestID
+	}
+	if e.RequestID == "" {
+		e.RequestID = resp.Header.Get(server.RequestIDHeader)
+	}
+	return e
 }
 
 // Experiments fetches the daemon's experiment index.
@@ -143,7 +216,7 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("client: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+		return decodeError(resp, b)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

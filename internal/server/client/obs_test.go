@@ -1,0 +1,162 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"whisper/internal/obs"
+	"whisper/internal/server"
+)
+
+// TestRunSendsOneRequestIDAcrossRetries checks the client mints a single
+// request ID per Run call and resends it on every retry, so the daemon's
+// access log shows one correlation key for the whole exchange — and that the
+// backoff waits surface as structured log events carrying that same ID.
+func TestRunSendsOneRequestIDAcrossRetries(t *testing.T) {
+	var calls atomic.Int64
+	var ids []string
+	body := []byte(`{"hash":"abc","request":{"experiment":"table2"},"rendered":"ok"}`)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ids = append(ids, r.Header.Get(server.RequestIDHeader))
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write(body)
+	}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	c := New(ts.URL)
+	c.Log = slog.New(slog.NewJSONHandler(&logBuf, nil))
+	if _, _, _, err := c.Run(context.Background(), server.Request{Experiment: "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("server saw %d calls, want 2", len(ids))
+	}
+	if ids[0] == "" || !obs.ValidRequestID(ids[0]) {
+		t.Fatalf("client sent no valid request ID: %q", ids[0])
+	}
+	if ids[0] != ids[1] {
+		t.Fatalf("retry changed the request ID: %q then %q", ids[0], ids[1])
+	}
+
+	var backoffSeen bool
+	scan := bufio.NewScanner(&logBuf)
+	for scan.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(scan.Bytes(), &line); err != nil {
+			t.Fatalf("client log line is not JSON: %q", scan.Text())
+		}
+		if line["msg"] == "daemon busy, backing off" {
+			backoffSeen = true
+			if line[obs.RequestIDAttr] != ids[0] {
+				t.Fatalf("backoff event request_id = %v, want %q", line[obs.RequestIDAttr], ids[0])
+			}
+			if _, ok := line["retry_after"]; !ok {
+				t.Fatalf("backoff event missing retry_after: %v", line)
+			}
+		}
+	}
+	if !backoffSeen {
+		t.Fatalf("no backoff event logged:\n%s", logBuf.String())
+	}
+}
+
+// TestRunAdoptsContextRequestID checks a caller-scoped ID (obs.WithRequestID)
+// wins over minting, so a larger operation spanning several Run calls can
+// share one correlation key.
+func TestRunAdoptsContextRequestID(t *testing.T) {
+	var got string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get(server.RequestIDHeader)
+		w.Write([]byte(`{"hash":"x","request":{"experiment":"table2"},"rendered":"ok"}`))
+	}))
+	defer ts.Close()
+
+	ctx := obs.WithRequestID(context.Background(), "caller-scope-7")
+	if _, _, _, err := New(ts.URL).Run(ctx, server.Request{Experiment: "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "caller-scope-7" {
+		t.Fatalf("sent ID = %q, want the caller's", got)
+	}
+}
+
+// TestErrorCarriesServerRequestID checks a daemon error decodes into *Error
+// with the server-reported message and request ID, from the JSON envelope —
+// or, failing that, the response header.
+func TestErrorCarriesServerRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.RequestIDHeader, "srv-assigned-1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": "sweep exploded", "status": 500, "request_id": "srv-assigned-1",
+		})
+	}))
+	defer ts.Close()
+
+	_, _, _, err := New(ts.URL).Run(context.Background(), server.Request{Experiment: "table2"})
+	if err == nil {
+		t.Fatal("Run succeeded against a failing daemon")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *client.Error: %v", err, err)
+	}
+	if ce.Status != 500 || ce.Msg != "sweep exploded" || ce.RequestID != "srv-assigned-1" {
+		t.Fatalf("decoded error = %+v", ce)
+	}
+	for _, want := range []string{"sweep exploded", "srv-assigned-1"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Fatalf("error text missing %q: %v", want, err)
+		}
+	}
+
+	// Plain-text error bodies (a proxy, not whisperd) still produce a usable
+	// *Error, with the ID recovered from the header.
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.RequestIDHeader, "hdr-only-2")
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer ts2.Close()
+	_, _, _, err = New(ts2.URL).Run(context.Background(), server.Request{Experiment: "table2"})
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T: %v", err, err)
+	}
+	if ce.Status != http.StatusBadGateway || ce.RequestID != "hdr-only-2" {
+		t.Fatalf("decoded error = %+v", ce)
+	}
+}
+
+// TestClientErrorAgainstRealHandler pins the full loop: the real server's
+// error envelope decodes into *Error with the ID the daemon echoed.
+func TestClientErrorAgainstRealHandler(t *testing.T) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := obs.WithRequestID(context.Background(), "real-err-3")
+	_, _, _, err = New(ts.URL).Run(ctx, server.Request{Experiment: "no-such-sweep"})
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T: %v", err, err)
+	}
+	if ce.Status != http.StatusBadRequest || ce.RequestID != "real-err-3" {
+		t.Fatalf("decoded error = %+v", ce)
+	}
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
+)
+
+// TestRequestIDEndToEnd is the observability acceptance pin: one request ID,
+// supplied by the caller, must be observable at every layer — the response
+// header, the access-log line, the trace span attributes (request span and
+// the sched job spans the execution sharded into), and the offline obsreport
+// rollup built from that trace.
+func TestRequestIDEndToEnd(t *testing.T) {
+	const reqID = "e2e-test-0001"
+	var logBuf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&logBuf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	reg := obs.NewRegistry()
+	srv, err := New(Config{Parallel: 2, Obs: reg, Log: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload, _ := json.Marshal(Request{Experiment: "table2"})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(payload))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(RequestIDHeader, reqID)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	// 1. The response header echoes the caller's ID.
+	if got := resp.Header.Get(RequestIDHeader); got != reqID {
+		t.Fatalf("response header = %q, want %q", got, reqID)
+	}
+
+	// 2. The access log carries it, as valid JSON lines.
+	var accessSeen bool
+	scan := bufio.NewScanner(bytes.NewReader(logBuf.Bytes()))
+	for scan.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(scan.Bytes(), &line); err != nil {
+			t.Fatalf("log line is not JSON: %q", scan.Text())
+		}
+		if line["msg"] == "request" {
+			accessSeen = true
+			if line[obs.RequestIDAttr] != reqID {
+				t.Fatalf("access line request_id = %v, want %q", line[obs.RequestIDAttr], reqID)
+			}
+			for _, key := range []string{"method", "path", "status", "dur_us", "cache"} {
+				if _, ok := line[key]; !ok {
+					t.Fatalf("access line missing %q: %v", key, line)
+				}
+			}
+		}
+	}
+	if !accessSeen {
+		t.Fatalf("no access-log line emitted:\n%s", logBuf.String())
+	}
+
+	// 3. The trace spans carry it: the request span and every sched job span.
+	tf := reg.BuildTrace(nil)
+	var reqSpans, jobSpans int
+	for _, ev := range tf.TraceEvents {
+		if ev.Cat != "span" || ev.Args[obs.RequestIDAttr] != reqID {
+			continue
+		}
+		if strings.HasPrefix(ev.Name, "server.run.") {
+			reqSpans++
+		}
+		if strings.HasPrefix(ev.Name, "table2.") {
+			jobSpans++
+		}
+	}
+	if reqSpans != 1 {
+		t.Fatalf("request span with ID: %d, want 1", reqSpans)
+	}
+	if jobSpans == 0 {
+		t.Fatal("no sched job span carries the request ID")
+	}
+
+	// 4. obsreport's joined view indexes the request.
+	snap := reg.Snapshot()
+	rep := obs.BuildRunReport(tf, &snap)
+	var found bool
+	for _, rq := range rep.Requests {
+		if rq.ID == reqID {
+			found = true
+			if rq.Spans < 2 {
+				t.Fatalf("report rollup spans = %d, want >= 2 (request + jobs)", rq.Spans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("request ID missing from run report: %+v", rep.Requests)
+	}
+	var repText bytes.Buffer
+	if err := rep.WriteText(&repText); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(repText.String(), reqID) {
+		t.Fatalf("report text missing request ID:\n%s", repText.String())
+	}
+}
+
+// TestRequestIDMintedAndInvalidReplaced checks the middleware mints a valid
+// ID when the caller supplies none — or supplies garbage.
+func TestRequestIDMintedAndInvalidReplaced(t *testing.T) {
+	srv, _ := stubServer(t, Config{}, func(ctx context.Context, req Request) ([]byte, error) {
+		return []byte("{}"), nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted := resp.Header.Get(RequestIDHeader)
+	if !obs.ValidRequestID(minted) {
+		t.Fatalf("minted ID %q not valid", minted)
+	}
+
+	hreq, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	hreq.Header.Set(RequestIDHeader, "bad id with spaces")
+	resp, err = http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	replaced := resp.Header.Get(RequestIDHeader)
+	if replaced == "bad id with spaces" || !obs.ValidRequestID(replaced) {
+		t.Fatalf("invalid caller ID echoed or replacement invalid: %q", replaced)
+	}
+}
+
+// TestErrorBodyJSON checks every error path returns the structured JSON
+// envelope with the request ID inside, plus the header.
+func TestErrorBodyJSON(t *testing.T) {
+	srv, _ := stubServer(t, Config{}, func(ctx context.Context, req Request) ([]byte, error) {
+		return []byte("{}"), nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload, _ := json.Marshal(Request{Experiment: "nonsense"})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(payload))
+	hreq.Header.Set(RequestIDHeader, "err-path-1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("error Content-Type = %q", ct)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "err-path-1" {
+		t.Fatalf("error response header = %q", got)
+	}
+	var body struct {
+		Error     string `json:"error"`
+		Status    int    `json:"status"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if body.Status != http.StatusBadRequest || body.Error == "" || body.RequestID != "err-path-1" {
+		t.Fatalf("error body = %+v", body)
+	}
+}
+
+// TestMetricsNegotiation pins the /metrics content negotiation: explicit
+// ?format wins, Accept headers steer, the default stays the aligned text the
+// CI smoke job greps, and the Prometheus rendering passes its own lint.
+func TestMetricsNegotiation(t *testing.T) {
+	srv, _ := stubServer(t, Config{}, func(ctx context.Context, req Request) ([]byte, error) {
+		return []byte("{}"), nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	post(t, ts.URL, Request{Experiment: "table2"})
+
+	get := func(path, accept string) (int, string, []byte) {
+		t.Helper()
+		hreq, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if accept != "" {
+			hreq.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), body
+	}
+
+	status, ct, body := get("/metrics", "")
+	if status != http.StatusOK || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default: %d %q", status, ct)
+	}
+	if !bytes.Contains(body, []byte("server.requests{experiment=table2}")) {
+		t.Fatalf("default text missing the smoke-job key:\n%s", body)
+	}
+
+	status, ct, body = get("/metrics?format=json", "")
+	if status != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json: %d %q", status, ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, q := range []string{"?format=prom", "?format=prometheus", "?format=openmetrics"} {
+		status, ct, body = get("/metrics"+q, "")
+		if status != http.StatusOK || ct != obs.PromContentType {
+			t.Fatalf("%s: %d %q", q, status, ct)
+		}
+		if errs := obs.LintPrometheus(bytes.NewReader(body)); len(errs) != 0 {
+			t.Fatalf("%s fails lint: %v", q, errs)
+		}
+		if !bytes.Contains(body, []byte(`server_requests{experiment="table2"}`)) {
+			t.Fatalf("%s missing series:\n%s", q, body)
+		}
+	}
+
+	// Accept-header negotiation: a Prometheus scraper's signature and a JSON
+	// client, no query string needed.
+	if _, ct, _ = get("/metrics", "text/plain;version=0.0.4;charset=utf-8"); ct != obs.PromContentType {
+		t.Fatalf("prometheus Accept → %q", ct)
+	}
+	if _, ct, _ = get("/metrics", "application/openmetrics-text; version=1.0.0"); ct != obs.PromContentType {
+		t.Fatalf("openmetrics Accept → %q", ct)
+	}
+	if _, ct, _ = get("/metrics", "application/json"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json Accept → %q", ct)
+	}
+
+	// Unknown formats are a 400 with the JSON error envelope, not a silent
+	// fallback.
+	status, ct, body = get("/metrics?format=xml", "")
+	if status != http.StatusBadRequest || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("unknown format: %d %q %s", status, ct, body)
+	}
+}
+
+// TestExecutionKeepsRequestScopeAcrossDrainContext checks the execution
+// context rebase (drain-cancellable base + request-scoped observability):
+// the logger and request ID survive into the execution even though the HTTP
+// request context is not its parent.
+func TestExecutionKeepsRequestScopeAcrossDrainContext(t *testing.T) {
+	var gotID string
+	var logBuf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	srv, _ := stubServer(t, Config{Log: log}, func(ctx context.Context, req Request) ([]byte, error) {
+		gotID = obs.RequestIDFrom(ctx)
+		logging.From(ctx).Info("inside execution")
+		return []byte("{}"), nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	payload, _ := json.Marshal(Request{Experiment: "table2"})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(payload))
+	hreq.Header.Set(RequestIDHeader, "drain-scope-1")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if gotID != "drain-scope-1" {
+		t.Fatalf("execution ctx request ID = %q", gotID)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte(`"inside execution"`)) ||
+		!bytes.Contains(logBuf.Bytes(), []byte(`"request_id":"drain-scope-1"`)) {
+		t.Fatalf("execution log line lost request scope:\n%s", logBuf.String())
+	}
+}

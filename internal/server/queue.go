@@ -71,6 +71,12 @@ func (q *queue) release() {
 	q.gauges()
 }
 
+// depth reports the current admission state — executing slots and queued
+// waiters — for access-log lines and drain progress reporting.
+func (q *queue) depth() (inflight, waiting int) {
+	return len(q.slots), int(q.waiting.Load())
+}
+
 func (q *queue) gauges() {
 	q.reg.Gauge("server.queue.inflight").Set(float64(len(q.slots)))
 	q.reg.Gauge("server.queue.waiting").Set(float64(q.waiting.Load()))

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"whisper/internal/cpu"
 	"whisper/internal/experiments"
 	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
 	"whisper/internal/pmu"
 )
 
@@ -40,10 +42,22 @@ type Config struct {
 	// Obs receives server telemetry and is what /metrics and /traces serve;
 	// nil allocates a fresh registry.
 	Obs *obs.Registry
+	// Log receives structured serving-path logs (access lines, admission
+	// rejects, cache tier hits, coalesces, drain progress); nil discards.
+	Log *slog.Logger
 }
 
 // DefaultCacheEntries is the memory LRU capacity when none is configured.
 const DefaultCacheEntries = 256
+
+// Response headers the serving path sets on every /v1/run reply; the
+// request-ID header additionally rides on every other endpoint and every
+// error path.
+const (
+	RequestIDHeader = "X-Whisper-Request-Id"
+	HashHeader      = "X-Whisper-Hash"
+	CacheHeader     = "X-Whisper-Cache"
+)
 
 // Server serves experiment results over HTTP. Zero or one execution runs
 // per distinct request hash at any instant (coalescing); completed results
@@ -52,6 +66,7 @@ const DefaultCacheEntries = 256
 type Server struct {
 	cfg   Config
 	reg   *obs.Registry
+	log   *slog.Logger
 	cache *cache
 	fl    *flight
 	queue *queue
@@ -73,6 +88,10 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	log := cfg.Log
+	if log == nil {
+		log = logging.Discard()
+	}
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = runtime.NumCPU()
 	}
@@ -88,6 +107,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
+		log:      log,
 		cache:    c,
 		fl:       newFlight(),
 		queue:    newQueue(cfg.MaxInflight, cfg.MaxQueue, reg),
@@ -103,7 +123,11 @@ func New(cfg Config) (*Server, error) {
 // Obs returns the server's telemetry registry (what /metrics serves).
 func (s *Server) Obs() *obs.Registry { return s.reg }
 
-// Handler returns the daemon's HTTP API.
+// Handler returns the daemon's HTTP API. Every route runs under the
+// request-ID middleware: the ID is accepted from (or minted into)
+// X-Whisper-Request-Id, echoed on every response — error paths included —
+// threaded through the context into execution spans, and closed out with a
+// structured access-log line.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
@@ -111,7 +135,73 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/traces", s.handleTraces)
-	return mux
+	return s.withRequestScope(mux)
+}
+
+// statusRecorder captures the status and body size an inner handler wrote,
+// for the access-log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// withRequestScope is the request-ID + access-log middleware.
+func (s *Server) withRequestScope(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		ctx := logging.WithRequestID(r.Context(), s.log, id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(rec, r.WithContext(ctx))
+		if log := logging.From(ctx); log.Enabled(ctx, slog.LevelInfo) {
+			inflight, waiting := s.queue.depth()
+			log.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Int64("bytes", rec.bytes),
+				slog.Int64("dur_us", time.Since(start).Microseconds()),
+				slog.String("cache", rec.Header().Get(CacheHeader)),
+				slog.Int("queue_inflight", inflight),
+				slog.Int("queue_waiting", waiting),
+			)
+		}
+	})
+}
+
+// errorBody is the JSON error envelope every non-200 response carries; the
+// request ID rides inside so a failed call is correlatable from the body
+// alone (clients echo it into their errors).
+type errorBody struct {
+	Error     string `json:"error"`
+	Status    int    `json:"status"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// writeError replaces http.Error on every serving path: a structured JSON
+// body with an explicit Content-Type and the request ID echoed both in the
+// (middleware-set) header and the body.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(errorBody{Error: msg, Status: status, RequestID: obs.RequestIDFrom(r.Context())})
 }
 
 // Shutdown drains the server: new requests are refused (503), in-flight
@@ -124,6 +214,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	s.reg.Gauge("server.draining").Set(1)
+	inflight, waiting := s.queue.depth()
+	s.log.LogAttrs(ctx, slog.LevelInfo, "drain started",
+		slog.Int("queue_inflight", inflight), slog.Int("queue_waiting", waiting))
 
 	done := make(chan struct{})
 	go func() {
@@ -137,10 +230,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Deadline passed: cancel the executions' base context and wait for
 		// them to unwind — Shutdown's contract is "no execution survives".
 		err = ctx.Err()
+		s.log.LogAttrs(ctx, slog.LevelWarn, "drain deadline expired, cancelling executions",
+			slog.String("error", err.Error()))
 		s.baseStop()
 		<-done
 	}
 	s.baseStop()
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "drain complete")
 	return err
 }
 
@@ -181,32 +277,37 @@ const (
 // across all three cache paths and across daemon instances.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		writeError(w, r, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
 	norm, err := req.Normalize()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	ctx := r.Context()
+	log := logging.From(ctx)
 	hash := norm.Hash()
 	lbl := obs.L("experiment", norm.Experiment)
 	s.reg.Counter("server.requests", lbl).Inc()
 	sp := s.reg.StartDetachedWallSpan("server.run." + norm.Experiment)
 	sp.Attr("hash", hash)
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		sp.Attr(obs.RequestIDAttr, id)
+	}
 	start := time.Now()
-	body, status, err := s.result(r.Context(), norm, hash)
+	body, status, err := s.result(ctx, norm, hash)
 	sp.Attr("cache", status)
 	s.reg.Histogram("server.request.us", lbl).Observe(uint64(time.Since(start).Microseconds()))
 	if err != nil {
@@ -215,28 +316,37 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("server.errors", lbl).Inc()
 		switch {
 		case errors.Is(err, errBusy):
+			log.LogAttrs(ctx, slog.LevelWarn, "admission rejected",
+				slog.String("experiment", norm.Experiment), slog.String("hash", hash))
 			w.Header().Set("Retry-After", "1")
-			http.Error(w, "server at capacity, retry later", http.StatusTooManyRequests)
+			writeError(w, r, http.StatusTooManyRequests, "server at capacity, retry later")
 		case errors.Is(err, errDraining),
 			errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			writeError(w, r, http.StatusServiceUnavailable, err.Error())
 		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			log.LogAttrs(ctx, slog.LevelError, "execution failed",
+				slog.String("experiment", norm.Experiment), slog.String("error", err.Error()))
+			writeError(w, r, http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
 	sp.End(0)
 	s.reg.Counter("server.responses", lbl, obs.L("cache", status)).Inc()
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Whisper-Hash", hash)
-	w.Header().Set("X-Whisper-Cache", status)
+	w.Header().Set(HashHeader, hash)
+	w.Header().Set(CacheHeader, status)
 	w.Write(body)
 }
 
 // result resolves one normalized request through cache → coalescing → queue
 // → execution, returning the envelope bytes and which path served them.
 func (s *Server) result(ctx context.Context, norm Request, hash string) ([]byte, string, error) {
-	if body, ok := s.cache.get(hash); ok {
+	log := logging.From(ctx)
+	if body, tier, ok := s.cache.get(hash); ok {
+		if log.Enabled(ctx, slog.LevelDebug) {
+			log.LogAttrs(ctx, slog.LevelDebug, "cache hit",
+				slog.String("tier", tier), slog.String("hash", hash))
+		}
 		return body, cacheHit, nil
 	}
 	body, shared, err := s.fl.do(hash, func() ([]byte, error) {
@@ -255,7 +365,11 @@ func (s *Server) result(ctx context.Context, norm Request, hash string) ([]byte,
 		if s.baseCtx.Err() != nil {
 			return nil, s.baseCtx.Err()
 		}
-		runCtx := s.baseCtx
+		// Execution runs on baseCtx for cancellation, but keeps the request's
+		// observability scope (ID + logger) so sched spans and worker logs
+		// stay correlated with the admitting request.
+		runCtx := logging.WithRequestID(s.baseCtx, logging.From(ctx), "")
+		runCtx = obs.WithRequestID(runCtx, obs.RequestIDFrom(ctx))
 		if s.cfg.RequestTimeout > 0 {
 			var cancel context.CancelFunc
 			runCtx, cancel = context.WithTimeout(runCtx, s.cfg.RequestTimeout)
@@ -272,6 +386,10 @@ func (s *Server) result(ctx context.Context, norm Request, hash string) ([]byte,
 	if shared {
 		status = cacheCoalesced
 		s.reg.Counter("server.coalesced").Inc()
+		if log.Enabled(ctx, slog.LevelDebug) {
+			log.LogAttrs(ctx, slog.LevelDebug, "coalesced onto in-flight execution",
+				slog.String("hash", hash))
+		}
 	}
 	if err != nil {
 		return nil, status, err
@@ -288,12 +406,12 @@ type experimentsIndex struct {
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	def, err := Request{Experiment: "table2"}.Normalize()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	idx := experimentsIndex{
@@ -309,25 +427,72 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
-	}
-	fmt.Fprintln(w, "ok")
-}
-
-// handleMetrics serves the obs registry snapshot: the aligned text table by
-// default, JSON with ?format=json — the same two renderings the CLIs'
-// -metrics-out flag writes.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	publishPoolGauges(s.reg)
-	snap := s.reg.Snapshot()
-	if r.URL.Query().Get("format") == "json" || wantsJSON(r) {
-		w.Header().Set("Content-Type", "application/json")
-		snap.WriteJSON(w)
+		writeError(w, r, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	snap.WriteText(w)
+	fmt.Fprintln(w, "ok")
+}
+
+// Metrics exposition formats /metrics negotiates between.
+const (
+	metricsText = "text" // the aligned text table (default)
+	metricsJSON = "json"
+	metricsProm = "prom" // Prometheus text exposition 0.0.4
+)
+
+// negotiateMetricsFormat resolves ?format= (authoritative when present) then
+// the Accept header into one exposition format. Unknown ?format values are
+// an error so typos fail loudly instead of silently serving the default.
+func negotiateMetricsFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "":
+	case metricsText:
+		return metricsText, nil
+	case metricsJSON:
+		return metricsJSON, nil
+	case metricsProm, "prometheus", "openmetrics":
+		return metricsProm, nil
+	default:
+		return "", fmt.Errorf("unknown metrics format %q (have text, json, prom)", f)
+	}
+	accept := r.Header.Get("Accept")
+	switch {
+	case strings.Contains(accept, "application/json"):
+		return metricsJSON, nil
+	case strings.Contains(accept, "application/openmetrics-text"),
+		strings.Contains(accept, "text/plain") && strings.Contains(accept, "version=0.0.4"):
+		// The Accept signature Prometheus scrapers send.
+		return metricsProm, nil
+	default:
+		return metricsText, nil
+	}
+}
+
+// handleMetrics serves the obs registry snapshot through one negotiated
+// writer: the aligned text table by default, JSON for JSON clients, and the
+// Prometheus text exposition for standard scrapers — always with an explicit
+// Content-Type (the CLIs' -metrics-out flag writes the same three renderings
+// by file suffix).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format, err := negotiateMetricsFormat(r)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+		return
+	}
+	publishPoolGauges(s.reg)
+	snap := s.reg.Snapshot()
+	switch format {
+	case metricsJSON:
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+	case metricsProm:
+		w.Header().Set("Content-Type", obs.PromContentType)
+		snap.WritePrometheus(w)
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteText(w)
+	}
 }
 
 // handleTraces serves the Perfetto/Chrome trace of everything the registry
@@ -335,10 +500,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	s.reg.ExportTrace(w, []pmu.Event(nil))
-}
-
-func wantsJSON(r *http.Request) bool {
-	return strings.Contains(r.Header.Get("Accept"), "application/json")
 }
 
 // publishPoolGauges refreshes the machine-reuse gauges from the process-wide

@@ -1,7 +1,9 @@
 package whisper_test
 
 import (
+	"context"
 	"encoding/json"
+	"log/slog"
 	"os"
 	"runtime"
 	"testing"
@@ -11,6 +13,8 @@ import (
 	"whisper/internal/cpu"
 	"whisper/internal/experiments"
 	"whisper/internal/kernel"
+	"whisper/internal/obs"
+	"whisper/internal/obs/logging"
 )
 
 // benchRecord is the BENCH_ci.json schema the CI bench-regression job
@@ -76,6 +80,30 @@ func TestProbeSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state probe allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestServeLogDisabledZeroAlloc pins the structured-logging contract on the
+// hot serve path: with no logger on the context (logging disabled — the
+// default for every direct CLI run), the guarded-log idiom used across
+// internal/server, internal/experiments and internal/sched
+//
+//	if log := logging.From(ctx); log.Enabled(ctx, slog.LevelDebug) { ... }
+//
+// allocates nothing, and neither does reading the request ID. A With/Attr
+// chain or fmt.Sprintf smuggled ahead of the Enabled check trips this.
+func TestServeLogDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	avg := testing.AllocsPerRun(1000, func() {
+		if log := logging.From(ctx); log.Enabled(ctx, slog.LevelDebug) {
+			log.LogAttrs(ctx, slog.LevelDebug, "unreachable")
+		}
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			t.Fatal("bare context carries an ID")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("disabled serve-path logging allocates %.2f objects/op, want 0", avg)
 	}
 }
 
