@@ -1,0 +1,230 @@
+// Command whisperfuzz runs long differential-fuzzing and invariant-
+// verification campaigns over the targets registered in internal/fuzzgen.
+//
+// Each target gets a time budget. A campaign replays the committed seed
+// corpus, then mutates it until the deadline, minimizing and archiving any
+// input whose check fails (a crash) and archiving inputs that reach a new
+// behavior signature (corpus growth). Artifacts use the Go native corpus
+// format, so a crash written here replays directly under `go test -run`.
+//
+// Usage:
+//
+//	whisperfuzz [-targets all|name,name] [-budget 2m] [-out fuzz-artifacts]
+//	            [-corpus internal/fuzzgen/testdata/fuzz] [-seed 1]
+//	            [-max-input 4096] [-json report.json] [-list]
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"whisper/internal/fuzzgen"
+)
+
+func main() {
+	var (
+		targetsFlag = flag.String("targets", "all", "comma-separated target names (or fuzz names), or 'all'")
+		budget      = flag.Duration("budget", 2*time.Minute, "time budget per target")
+		corpusDir   = flag.String("corpus", filepath.Join("internal", "fuzzgen", "testdata", "fuzz"), "seed corpus root (Go native layout)")
+		outDir      = flag.String("out", "fuzz-artifacts", "artifact output directory")
+		jsonPath    = flag.String("json", "", "also write a JSON report to this path")
+		seed        = flag.Int64("seed", 1, "mutation PRNG seed")
+		maxInput    = flag.Int("max-input", 4096, "maximum mutated input size in bytes")
+		list        = flag.Bool("list", false, "list targets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, t := range fuzzgen.Targets() {
+			fmt.Printf("%-12s %-28s %s\n", t.Name, t.FuzzName, t.Doc)
+		}
+		return
+	}
+
+	targets, err := selectTargets(*targetsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whisperfuzz:", err)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "whisperfuzz:", err)
+		os.Exit(2)
+	}
+
+	rep := Report{Started: time.Now().UTC(), Seed: *seed, Budget: budget.String()}
+	for _, t := range targets {
+		tr := runCampaign(t, campaignConfig{
+			budget:    *budget,
+			corpusDir: filepath.Join(*corpusDir, t.FuzzName),
+			outDir:    *outDir,
+			rng:       rand.New(rand.NewSource(*seed)),
+			maxInput:  *maxInput,
+		})
+		rep.Targets = append(rep.Targets, tr)
+	}
+	rep.Finished = time.Now().UTC()
+
+	fmt.Print(rep.Human())
+	if *jsonPath != "" {
+		if err := rep.WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "whisperfuzz:", err)
+			os.Exit(2)
+		}
+	}
+	if rep.CrashCount() > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectTargets(spec string) ([]fuzzgen.Target, error) {
+	if spec == "all" || spec == "" {
+		return fuzzgen.Targets(), nil
+	}
+	var out []fuzzgen.Target
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		t, ok := fuzzgen.TargetByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown target %q (try -list)", name)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+type campaignConfig struct {
+	budget    time.Duration
+	corpusDir string
+	outDir    string
+	rng       *rand.Rand
+	maxInput  int
+}
+
+func runCampaign(t fuzzgen.Target, cfg campaignConfig) TargetReport {
+	tr := TargetReport{Name: t.Name, FuzzName: t.FuzzName}
+	start := time.Now()
+	deadline := start.Add(cfg.budget)
+
+	// Seed pool: committed corpus plus built-in baselines.
+	var pool [][]byte
+	seen := map[uint64]bool{}
+	entries, err := fuzzgen.ReadCorpusDir(cfg.corpusDir)
+	if err != nil {
+		tr.Error = err.Error()
+		return tr
+	}
+	for _, e := range entries {
+		pool = append(pool, e.Data)
+	}
+	pool = append(pool, nil, []byte{0}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	tr.SeedInputs = len(pool)
+
+	try := func(data []byte, fromSeed bool) {
+		tr.Execs++
+		if err := runOne(t, data); err != nil {
+			min := minimize(t, data)
+			tr.Crashes = append(tr.Crashes, archiveCrash(cfg.outDir, t, min, err))
+			return
+		}
+		if t.Sig == nil {
+			return
+		}
+		sig := t.Sig(data)
+		if !seen[sig] {
+			seen[sig] = true
+			if !fromSeed {
+				pool = append(pool, data)
+				tr.NewCorpus++
+				archiveCorpus(cfg.outDir, t, data)
+			}
+		}
+	}
+
+	for _, data := range pool {
+		if time.Now().After(deadline) {
+			break
+		}
+		try(data, true)
+	}
+	for time.Now().Before(deadline) && len(tr.Crashes) < 32 {
+		base := pool[cfg.rng.Intn(len(pool))]
+		try(mutate(cfg.rng, base, cfg.maxInput), false)
+	}
+	tr.Elapsed = time.Since(start).String()
+	return tr
+}
+
+// runOne executes one check with panic containment: a panicking engine is as
+// much a finding as a failed comparison.
+func runOne(t fuzzgen.Target, data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return t.Check(data)
+}
+
+// minimize shrinks a failing input while it keeps failing: chunk-halving
+// deletion, then byte zeroing. Bounded so a slow target cannot stall the run.
+func minimize(t fuzzgen.Target, data []byte) []byte {
+	const maxAttempts = 400
+	attempts := 0
+	fails := func(d []byte) bool {
+		if attempts >= maxAttempts {
+			return false
+		}
+		attempts++
+		return runOne(t, d) != nil
+	}
+	cur := append([]byte(nil), data...)
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for off := 0; off+chunk <= len(cur); {
+			cand := append(append([]byte(nil), cur[:off]...), cur[off+chunk:]...)
+			if fails(cand) {
+				cur = cand
+			} else {
+				off += chunk
+			}
+		}
+	}
+	for i := range cur {
+		if cur[i] == 0 {
+			continue
+		}
+		cand := append([]byte(nil), cur...)
+		cand[i] = 0
+		if fails(cand) {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+func shortHash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:4])
+}
+
+func archiveCrash(outDir string, t fuzzgen.Target, data []byte, cause error) Crash {
+	name := "crash-" + shortHash(data)
+	path := filepath.Join(outDir, "crashes", t.FuzzName, name)
+	c := Crash{Name: name, Path: path, InputLen: len(data), Error: cause.Error()}
+	if err := fuzzgen.WriteCorpusFile(path, data); err != nil {
+		c.Error += "; archive failed: " + err.Error()
+	}
+	return c
+}
+
+func archiveCorpus(outDir string, t fuzzgen.Target, data []byte) {
+	path := filepath.Join(outDir, "corpus", t.FuzzName, "seed-"+shortHash(data))
+	_ = fuzzgen.WriteCorpusFile(path, data)
+}

@@ -1,0 +1,58 @@
+package main
+
+import "math/rand"
+
+// mutate derives a new input from base with 1–4 stacked edits drawn from the
+// classic byte-fuzzing repertoire. The result is never empty (the generator
+// treats missing bytes as zeros, so the empty input is a single fixed
+// program) and never exceeds maxLen.
+func mutate(rng *rand.Rand, base []byte, maxLen int) []byte {
+	out := append([]byte(nil), base...)
+	for edits := 1 + rng.Intn(4); edits > 0; edits-- {
+		switch rng.Intn(7) {
+		case 0: // bit flip
+			if len(out) > 0 {
+				out[rng.Intn(len(out))] ^= 1 << rng.Intn(8)
+			}
+		case 1: // set byte
+			if len(out) > 0 {
+				out[rng.Intn(len(out))] = byte(rng.Intn(256))
+			}
+		case 2: // insert random bytes
+			n := 1 + rng.Intn(16)
+			at := rng.Intn(len(out) + 1)
+			ins := make([]byte, n)
+			rng.Read(ins)
+			out = append(out[:at], append(ins, out[at:]...)...)
+		case 3: // delete span
+			if len(out) > 1 {
+				n := 1 + rng.Intn(len(out)/2)
+				at := rng.Intn(len(out) - n + 1)
+				out = append(out[:at], out[at+n:]...)
+			}
+		case 4: // duplicate span
+			if len(out) > 0 {
+				n := 1 + rng.Intn(min(len(out), 32))
+				at := rng.Intn(len(out) - n + 1)
+				span := append([]byte(nil), out[at:at+n]...)
+				out = append(out[:at], append(span, out[at:]...)...)
+			}
+		case 5: // append random tail
+			n := 1 + rng.Intn(64)
+			tail := make([]byte, n)
+			rng.Read(tail)
+			out = append(out, tail...)
+		case 6: // truncate
+			if len(out) > 1 {
+				out = out[:1+rng.Intn(len(out)-1)]
+			}
+		}
+	}
+	if len(out) > maxLen {
+		out = out[:maxLen]
+	}
+	if len(out) == 0 {
+		out = []byte{byte(rng.Intn(256))}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Report is the whole campaign's outcome, serializable for CI archival.
+type Report struct {
+	Started  time.Time      `json:"started"`
+	Finished time.Time      `json:"finished"`
+	Seed     int64          `json:"seed"`
+	Budget   string         `json:"budget_per_target"`
+	Targets  []TargetReport `json:"targets"`
+}
+
+// TargetReport is one target's campaign outcome.
+type TargetReport struct {
+	Name       string  `json:"name"`
+	FuzzName   string  `json:"fuzz_name"`
+	SeedInputs int     `json:"seed_inputs"`
+	Execs      int64   `json:"execs"`
+	NewCorpus  int     `json:"new_corpus"`
+	Crashes    []Crash `json:"crashes,omitempty"`
+	Elapsed    string  `json:"elapsed"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Crash is one minimized failing input, archived on disk.
+type Crash struct {
+	Name     string `json:"name"`
+	Path     string `json:"path"`
+	InputLen int    `json:"input_len"`
+	Error    string `json:"error"`
+}
+
+func (r Report) CrashCount() int {
+	n := 0
+	for _, t := range r.Targets {
+		n += len(t.Crashes)
+	}
+	return n
+}
+
+// Human renders the report for terminal and CI-log consumption.
+func (r Report) Human() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "whisperfuzz: %d target(s), %s budget each, seed %d\n",
+		len(r.Targets), r.Budget, r.Seed)
+	for _, t := range r.Targets {
+		status := "ok"
+		if len(t.Crashes) > 0 {
+			status = fmt.Sprintf("%d CRASH(ES)", len(t.Crashes))
+		}
+		if t.Error != "" {
+			status = "error: " + t.Error
+		}
+		fmt.Fprintf(&b, "  %-28s %8d execs  %3d seeds  %3d new corpus  %-10s %s\n",
+			t.FuzzName, t.Execs, t.SeedInputs, t.NewCorpus, t.Elapsed, status)
+		for _, c := range t.Crashes {
+			fmt.Fprintf(&b, "    crash %s (%d bytes): %s\n",
+				c.Path, c.InputLen, firstLine(c.Error))
+		}
+	}
+	if n := r.CrashCount(); n > 0 {
+		fmt.Fprintf(&b, "FAIL: %d crash(es); replay with: go test ./internal/fuzzgen -run TestCommittedCorpus after copying the artifact into testdata/fuzz/<target>/\n", n)
+	} else {
+		b.WriteString("PASS: no crashes\n")
+	}
+	return b.String()
+}
+
+func (r Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The on-disk corpus format is the Go toolchain's native one, so the same
+// files seed `go test -fuzz` runs and cmd/whisperfuzz campaigns, and a crash
+// artifact written by either tool replays in the other.
+const corpusHeader = "go test fuzz v1"
+
+// MarshalCorpus encodes raw fuzz input in the Go corpus-file format.
+func MarshalCorpus(data []byte) []byte {
+	return []byte(fmt.Sprintf("%s\n[]byte(%q)\n", corpusHeader, data))
+}
+
+// UnmarshalCorpus decodes a Go corpus file holding a single []byte value.
+func UnmarshalCorpus(b []byte) ([]byte, error) {
+	lines := strings.SplitN(strings.ReplaceAll(string(b), "\r\n", "\n"), "\n", 3)
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != corpusHeader {
+		return nil, fmt.Errorf("fuzzgen: not a %q corpus file", corpusHeader)
+	}
+	body := strings.TrimSpace(lines[1])
+	const prefix, suffix = "[]byte(", ")"
+	if !strings.HasPrefix(body, prefix) || !strings.HasSuffix(body, suffix) {
+		return nil, fmt.Errorf("fuzzgen: corpus value %q is not a []byte literal", body)
+	}
+	q := strings.TrimSuffix(strings.TrimPrefix(body, prefix), suffix)
+	s, err := strconv.Unquote(q)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzgen: corpus value: %w", err)
+	}
+	return []byte(s), nil
+}
+
+// CorpusEntry is one named seed or crash input.
+type CorpusEntry struct {
+	Name string
+	Data []byte
+}
+
+// ReadCorpusFile loads one corpus file.
+func ReadCorpusFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := UnmarshalCorpus(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return data, nil
+}
+
+// WriteCorpusFile writes data as a corpus file, creating parent directories.
+func WriteCorpusFile(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, MarshalCorpus(data), 0o644)
+}
+
+// ReadCorpusDir loads every corpus file in dir, sorted by name. A missing
+// directory is an empty corpus, not an error.
+func ReadCorpusDir(dir string) ([]CorpusEntry, error) {
+	des, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []CorpusEntry
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		data, err := ReadCorpusFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, CorpusEntry{Name: de.Name(), Data: data})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}

@@ -1,0 +1,56 @@
+package fuzzgen_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"whisper/internal/fuzzgen"
+)
+
+// TestCorpusRoundTrip: the corpus codec must reproduce the Go toolchain's
+// single-[]byte corpus format exactly, byte streams surviving both directions.
+func TestCorpusRoundTrip(t *testing.T) {
+	cases := [][]byte{{}, {0}, []byte("hello\nworld\x00\xff"), seedStream(3, 300)}
+	for i, data := range cases {
+		enc := fuzzgen.MarshalCorpus(data)
+		dec, err := fuzzgen.UnmarshalCorpus(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("case %d: round trip lost data: %q vs %q", i, dec, data)
+		}
+	}
+	if _, err := fuzzgen.UnmarshalCorpus([]byte("not a corpus file")); err == nil {
+		t.Fatal("garbage accepted as corpus file")
+	}
+}
+
+// TestCommittedCorpus pins every committed seed-corpus entry as a named
+// regression test: each input that once found (or nearly found) a divergence
+// must keep passing its target's check forever, with or without -fuzz.
+func TestCommittedCorpus(t *testing.T) {
+	for _, target := range fuzzgen.Targets() {
+		target := target
+		t.Run(target.FuzzName, func(t *testing.T) {
+			dir := filepath.Join("testdata", "fuzz", target.FuzzName)
+			entries, err := fuzzgen.ReadCorpusDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(entries) == 0 {
+				t.Fatalf("no committed seed corpus in %s", dir)
+			}
+			for _, e := range entries {
+				e := e
+				t.Run(e.Name, func(t *testing.T) {
+					t.Parallel()
+					if err := target.Check(e.Data); err != nil {
+						t.Fatalf("committed corpus entry regressed: %v", err)
+					}
+				})
+			}
+		})
+	}
+}

@@ -1,247 +1,50 @@
-package interp
+package interp_test
 
 import (
-	"fmt"
+	"bytes"
 	"math/rand"
 	"testing"
 
-	"whisper/internal/bpu"
 	"whisper/internal/cpu"
+	"whisper/internal/fuzzgen"
+	"whisper/internal/interp"
 	"whisper/internal/isa"
-	"whisper/internal/mem"
-	"whisper/internal/paging"
-	"whisper/internal/pipeline"
-	"whisper/internal/pmu"
-	"whisper/internal/tlb"
 )
 
-// Differential testing: random programs must leave identical architectural
-// state on the sequential interpreter and the out-of-order pipeline,
-// whatever speculation the pipeline performed along the way.
+// Differential testing: generated programs must leave identical architectural
+// state on the sequential interpreter and the out-of-order pipeline, whatever
+// speculation the pipeline performed along the way. Program generation, the
+// memory layout and the engine comparison all live in internal/fuzzgen — the
+// same code the fuzz targets and cmd/whisperfuzz campaigns drive — so a
+// divergence found by either shows up here as a seed, and vice versa.
 
-const (
-	dtCodeBase  = 0x400000
-	dtDataBase  = 0x500000
-	dtDataPages = 8
-	dtStackBase = 0x7f0000
-)
-
-// genRegs are the registers random programs may touch (RSP is reserved for
-// the stack discipline).
-var genRegs = []isa.Reg{isa.RAX, isa.RBX, isa.RCX, isa.RDX, isa.RSI, isa.RDI, isa.R8, isa.R9}
-
-type env struct {
-	as   *paging.AddressSpace
-	phys *mem.Physical
-}
-
-func newDiffEnv(t *testing.T) env {
-	t.Helper()
-	phys := mem.NewPhysical()
-	as := paging.NewAddressSpace(phys, paging.NewFrameAllocator(0x100000))
-	for _, m := range []struct {
-		va    uint64
-		n     int
-		flags uint64
-	}{
-		{dtCodeBase, 16, paging.FlagU},
-		{dtDataBase, dtDataPages, paging.FlagU | paging.FlagW},
-		{dtStackBase, 4, paging.FlagU | paging.FlagW},
-	} {
-		if _, err := as.MapRange(m.va, m.n, m.flags); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return env{as: as, phys: phys}
-}
-
-func (e env) seedData(r *rand.Rand) {
-	buf := make([]byte, dtDataPages*paging.PageSize4K)
-	r.Read(buf)
-	pa, _ := e.as.Translate(dtDataBase)
-	e.phys.StoreBytes(pa, buf)
-}
-
-func (e env) dataBytes() []byte {
-	pa, _ := e.as.Translate(dtDataBase)
-	return e.phys.LoadBytes(pa, dtDataPages*paging.PageSize4K)
-}
-
-// genProgram emits a random but always-terminating program: straight-line
-// ALU/memory blocks, forward branches, bounded countdown loops, and calls to
-// leaf functions.
-func genProgram(r *rand.Rand) *isa.Program {
-	b := isa.NewBuilder(dtCodeBase)
-	b.MovImm(isa.RSP, dtStackBase+0x2000)
-	for _, reg := range genRegs {
-		b.MovImm(reg, int64(r.Uint64()>>16))
-	}
-	labels := 0
-	newLabel := func() string {
-		labels++
-		return "L" + string(rune('a'+labels%26)) + string(rune('0'+labels/26%10)) + string(rune('0'+labels/260))
-	}
-	reg := func() isa.Reg { return genRegs[r.Intn(len(genRegs))] }
-	dataAddr := func(dst isa.Reg) {
-		off := int64(r.Intn(dtDataPages*paging.PageSize4K/8)) * 8
-		b.MovImm(dst, dtDataBase+off)
-	}
-	emitBlock := func(n int) {
-		for i := 0; i < n; i++ {
-			switch r.Intn(12) {
-			case 0:
-				b.MovImm(reg(), int64(int32(r.Uint32())))
-			case 1:
-				b.Mov(reg(), reg())
-			case 2:
-				b.Add(reg(), reg(), reg())
-			case 3:
-				b.Sub(reg(), reg(), reg())
-			case 4:
-				b.Xor(reg(), reg(), reg())
-			case 5:
-				b.Imul(reg(), reg(), reg())
-			case 6:
-				b.AndImm(reg(), reg(), int64(r.Uint32()))
-			case 7:
-				b.ShlImm(reg(), reg(), int64(r.Intn(63)))
-			case 8:
-				b.ShrImm(reg(), reg(), int64(r.Intn(63)))
-			case 9: // load
-				a := reg()
-				dataAddr(a)
-				d := reg()
-				if d == a {
-					d = isa.RAX
-				}
-				b.Load(d, a, 0, []int{1, 2, 4, 8}[r.Intn(4)])
-			case 10: // store
-				a := reg()
-				dataAddr(a)
-				s := reg()
-				b.Store(a, 0, s, []int{1, 2, 4, 8}[r.Intn(4)])
-			case 11: // forward branch over a couple of instructions
-				skip := newLabel()
-				b.CmpImm(reg(), int64(r.Intn(16)))
-				b.Jcc(isa.Cond(r.Intn(8)), skip)
-				b.Add(reg(), reg(), reg())
-				b.Xor(reg(), reg(), reg())
-				b.Label(skip)
-			}
-		}
-	}
-	// Main body: blocks, a bounded loop, a call.
-	emitBlock(10 + r.Intn(20))
-	loop := newLabel()
-	b.MovImm(isa.R15, int64(2+r.Intn(6)))
-	b.Label(loop)
-	emitBlock(4 + r.Intn(8))
-	b.SubImm(isa.R15, isa.R15, 1)
-	b.CmpImm(isa.R15, 0)
-	b.Jcc(isa.CondNE, loop)
-	b.Call("fn")
-	emitBlock(6 + r.Intn(10))
-	b.Call("fn")
-	b.Jmp("end")
-	// Leaf function.
-	b.Label("fn")
-	emitBlock(3 + r.Intn(6))
-	b.Ret()
-	b.Label("end")
-	b.Halt()
-	return b.MustAssemble()
-}
-
-func newDiffPipeline(t *testing.T, e env) *pipeline.Pipeline {
-	t.Helper()
-	cfg := pipeline.DefaultConfig()
-	cfg.NoiseSigma = 0
-	cfg.InterruptProb = 0
-	p, err := pipeline.New(cfg, pipeline.Resources{
-		Hier: mem.NewHierarchy(e.phys, mem.DefaultHierarchyConfig()),
-		LFB:  mem.NewLFB(10),
-		AS:   e.as,
-		DTLB: tlb.New("dtlb", tlb.DefaultDTLBConfig()),
-		ITLB: tlb.New("itlb", tlb.DefaultITLBConfig()),
-		BPU:  bpu.New(bpu.DefaultConfig()),
-		PMU:  pmu.New(),
-		Rand: rand.New(rand.NewSource(1)),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return p
+func seedStream(seed int64, n int) []byte {
+	buf := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	return buf
 }
 
 func TestDifferentialPipelineVsInterpreter(t *testing.T) {
 	const programs = 120
 	for i := 0; i < programs; i++ {
 		seed := int64(1000 + i)
-		gen := rand.New(rand.NewSource(seed))
-		prog := genProgram(gen)
-
-		// Interpreter world.
-		ei := newDiffEnv(t)
-		ei.seedData(rand.New(rand.NewSource(seed * 7)))
-		im := New(ei.as)
-		if err := im.Run(prog, 1_000_000); err != nil {
-			t.Fatalf("seed %d: interp: %v", seed, err)
-		}
-
-		// Pipeline world (identical initial memory).
-		ep := newDiffEnv(t)
-		ep.seedData(rand.New(rand.NewSource(seed * 7)))
-		pp := newDiffPipeline(t, ep)
-		if _, err := pp.Exec(prog, 10_000_000); err != nil {
-			t.Fatalf("seed %d: pipeline: %v", seed, err)
-		}
-
-		for _, r := range append(append([]isa.Reg{}, genRegs...), isa.RSP, isa.R15) {
-			if got, want := pp.Reg(r), im.Regs[r]; got != want {
-				t.Fatalf("seed %d: reg %v: pipeline %#x, interp %#x", seed, r, got, want)
-			}
-		}
-		gotMem, wantMem := ep.dataBytes(), ei.dataBytes()
-		for j := range wantMem {
-			if gotMem[j] != wantMem[j] {
-				t.Fatalf("seed %d: memory diverges at +%#x: pipeline %#x, interp %#x",
-					seed, j, gotMem[j], wantMem[j])
-			}
+		if err := fuzzgen.CheckInterpVsPipeline(seedStream(seed, 768)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
 }
 
-// diffModel is the CPU model the Reset-reuse difftest runs on: the default
-// configuration with measurement noise pinned off, matching newDiffPipeline.
-func diffModel() cpu.Model {
-	m := cpu.I7_7700()
-	m.Pipe.NoiseSigma = 0
-	m.Pipe.InterruptProb = 0
-	return m
-}
-
-// mapDiffEnv installs the difftest memory layout into a machine's address
-// space and seeds the data pages, mirroring newDiffEnv on a cpu.Machine.
-func mapDiffEnv(t *testing.T, m *cpu.Machine, r *rand.Rand) {
-	t.Helper()
-	as := m.Pipe.AddressSpace()
-	for _, rg := range []struct {
-		va    uint64
-		n     int
-		flags uint64
-	}{
-		{dtCodeBase, 16, paging.FlagU},
-		{dtDataBase, dtDataPages, paging.FlagU | paging.FlagW},
-		{dtStackBase, 4, paging.FlagU | paging.FlagW},
-	} {
-		if _, err := as.MapRange(rg.va, rg.n, rg.flags); err != nil {
-			t.Fatal(err)
+// TestDifferentialTransientBlocks hammers a second stream family; the
+// generator's TSX and signal-handler sections make suppressed-fault transient
+// windows (whose side effects must never become architectural) common here.
+func TestDifferentialTransientBlocks(t *testing.T) {
+	const programs = 100
+	for i := 0; i < programs; i++ {
+		seed := int64(5000 + i)
+		if err := fuzzgen.CheckInterpVsPipeline(seedStream(seed, 768)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
-	buf := make([]byte, dtDataPages*paging.PageSize4K)
-	r.Read(buf)
-	pa, _ := as.Translate(dtDataBase)
-	m.Phys.StoreBytes(pa, buf)
 }
 
 // TestDifferentialResetReuse pins the machine-reuse contract the experiment
@@ -251,54 +54,56 @@ func mapDiffEnv(t *testing.T, m *cpu.Machine, r *rand.Rand) {
 // machine reproduces the first exactly.
 func TestDifferentialResetReuse(t *testing.T) {
 	const programs = 40
-	reused := cpu.MustMachine(diffModel(), 1)
+	reused := cpu.MustMachine(fuzzgen.Model(), 1)
 	for i := 0; i < programs; i++ {
 		seed := int64(9000 + i)
-		prog := genProgram(rand.New(rand.NewSource(seed)))
+		spec := fuzzgen.GenerateSpec(seedStream(seed, 768))
 
 		// Reference world: fresh environment, fresh pipeline.
-		ef := newDiffEnv(t)
-		ef.seedData(rand.New(rand.NewSource(seed * 11)))
-		pf := newDiffPipeline(t, ef)
-		if _, err := pf.Exec(prog, 10_000_000); err != nil {
+		ef := fuzzgen.MustEnv()
+		ef.SeedData(spec.MemSeed)
+		pf, err := ef.NewPipeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf.SetSignalHandler(spec.Handler)
+		if _, err := pf.Exec(spec.Prog, 50_000_000); err != nil {
 			t.Fatalf("seed %d: fresh: %v", seed, err)
 		}
-		wantMem := ef.dataBytes()
+		wantMem := ef.DataBytes()
 
 		// Reused world: one machine, Reset before every run, each program run
 		// twice on it.
 		for round := 0; round < 2; round++ {
 			reused.Reset(1)
-			mapDiffEnv(t, reused, rand.New(rand.NewSource(seed*11)))
-			if _, err := reused.Pipe.Exec(prog, 10_000_000); err != nil {
+			if err := fuzzgen.InstallEnv(reused, spec.MemSeed); err != nil {
+				t.Fatal(err)
+			}
+			reused.Pipe.SetSignalHandler(spec.Handler)
+			if _, err := reused.Pipe.Exec(spec.Prog, 50_000_000); err != nil {
 				t.Fatalf("seed %d round %d: reused: %v", seed, round, err)
 			}
 			if got, want := reused.Pipe.Cycle(), pf.Cycle(); got != want {
 				t.Fatalf("seed %d round %d: cycles %d, fresh %d", seed, round, got, want)
 			}
-			for _, r := range append(append([]isa.Reg{}, genRegs...), isa.RSP, isa.R15) {
+			for _, r := range fuzzgen.CompareRegs() {
 				if got, want := reused.Pipe.Reg(r), pf.Reg(r); got != want {
 					t.Fatalf("seed %d round %d: reg %v: reused %#x, fresh %#x",
 						seed, round, r, got, want)
 				}
 			}
-			as := reused.Pipe.AddressSpace()
-			pa, _ := as.Translate(dtDataBase)
-			gotMem := reused.Phys.LoadBytes(pa, dtDataPages*paging.PageSize4K)
-			for j := range wantMem {
-				if gotMem[j] != wantMem[j] {
-					t.Fatalf("seed %d round %d: memory diverges at +%#x", seed, round, j)
-				}
+			if !bytes.Equal(fuzzgen.MachineDataBytes(reused), wantMem) {
+				t.Fatalf("seed %d round %d: memory diverges", seed, round)
 			}
 		}
 	}
 }
 
 func TestInterpFaultPaths(t *testing.T) {
-	e := newDiffEnv(t)
-	m := New(e.as)
+	e := fuzzgen.MustEnv()
+	m := interp.New(e.AS)
 	// Unsuppressed fault errors out.
-	p := isa.NewBuilder(dtCodeBase).
+	p := isa.NewBuilder(fuzzgen.CodeBase).
 		MovImm(isa.RBX, 0x40000000).
 		LoadQ(isa.RAX, isa.RBX, 0).
 		Halt().
@@ -307,7 +112,7 @@ func TestInterpFaultPaths(t *testing.T) {
 		t.Fatal("unsuppressed fault did not error")
 	}
 	// Signal handler suppresses.
-	p2 := isa.NewBuilder(dtCodeBase).
+	p2 := isa.NewBuilder(fuzzgen.CodeBase).
 		MovImm(isa.RBX, 0x40000000).
 		LoadQ(isa.RAX, isa.RBX, 0).
 		Halt().
@@ -315,7 +120,7 @@ func TestInterpFaultPaths(t *testing.T) {
 		MovImm(isa.RCX, 9).
 		Halt().
 		MustAssemble()
-	m2 := New(e.as)
+	m2 := interp.New(e.AS)
 	m2.SetSignalHandler(3)
 	if err := m2.Run(p2, 1000); err != nil {
 		t.Fatal(err)
@@ -324,7 +129,7 @@ func TestInterpFaultPaths(t *testing.T) {
 		t.Fatal("handler did not run")
 	}
 	// TSX abort restores registers.
-	p3 := isa.NewBuilder(dtCodeBase).
+	p3 := isa.NewBuilder(fuzzgen.CodeBase).
 		MovImm(isa.RAX, 5).
 		Xbegin("abort").
 		MovImm(isa.RAX, 6).
@@ -336,7 +141,7 @@ func TestInterpFaultPaths(t *testing.T) {
 		MovImm(isa.RDX, 1).
 		Halt().
 		MustAssemble()
-	m3 := New(e.as)
+	m3 := interp.New(e.AS)
 	if err := m3.Run(p3, 1000); err != nil {
 		t.Fatal(err)
 	}
@@ -344,128 +149,20 @@ func TestInterpFaultPaths(t *testing.T) {
 		t.Fatalf("txn rollback wrong: rax=%d rdx=%d", m3.Regs[isa.RAX], m3.Regs[isa.RDX])
 	}
 	// Write to read-only page faults.
-	ro := isa.NewBuilder(dtCodeBase).
-		MovImm(isa.RBX, dtCodeBase). // code is mapped read-only user
+	ro := isa.NewBuilder(fuzzgen.CodeBase).
+		MovImm(isa.RBX, fuzzgen.CodeBase). // code is mapped read-only user
 		StoreQ(isa.RBX, 0, isa.RAX).
 		Halt().
 		MustAssemble()
-	if err := New(e.as).Run(ro, 1000); err == nil {
+	if err := interp.New(e.AS).Run(ro, 1000); err == nil {
 		t.Fatal("read-only store did not fault")
 	}
 }
 
 func TestInterpBudget(t *testing.T) {
-	e := newDiffEnv(t)
-	p := isa.NewBuilder(dtCodeBase).Label("x").Jmp("x").MustAssemble()
-	if err := New(e.as).Run(p, 100); err != ErrBudget {
+	e := fuzzgen.MustEnv()
+	p := isa.NewBuilder(fuzzgen.CodeBase).Label("x").Jmp("x").MustAssemble()
+	if err := interp.New(e.AS).Run(p, 100); err != interp.ErrBudget {
 		t.Fatalf("err = %v, want ErrBudget", err)
-	}
-}
-
-// genTransientProgram extends the generator with suppressed-fault transient
-// blocks: TSX sections and signal-handled wild loads whose transient
-// side effects must never become architectural.
-func genTransientProgram(r *rand.Rand) (*isa.Program, int) {
-	b := isa.NewBuilder(dtCodeBase)
-	b.MovImm(isa.RSP, dtStackBase+0x2000)
-	for _, reg := range genRegs {
-		b.MovImm(reg, int64(r.Uint64()>>16))
-	}
-	reg := func() isa.Reg { return genRegs[r.Intn(len(genRegs))] }
-	label := 0
-	newLabel := func() string {
-		label++
-		return fmt.Sprintf("t%d", label)
-	}
-	block := func(n int) {
-		for i := 0; i < n; i++ {
-			switch r.Intn(4) {
-			case 0:
-				b.Add(reg(), reg(), reg())
-			case 1:
-				b.MovImm(reg(), int64(int32(r.Uint32())))
-			case 2:
-				a := reg()
-				b.MovImm(a, dtDataBase+int64(r.Intn(64))*8)
-				d := reg()
-				if d == a {
-					d = isa.RAX
-				}
-				b.LoadQ(d, a, 0)
-			case 3:
-				a := reg()
-				b.MovImm(a, dtDataBase+int64(r.Intn(64))*8)
-				b.StoreQ(a, 0, reg())
-			}
-		}
-	}
-	block(4 + r.Intn(6))
-	// TSX transient block: wild load + dependent work, always aborts.
-	abort := newLabel()
-	end := newLabel()
-	b.Xbegin(abort)
-	block(1 + r.Intn(3))
-	wild := reg()
-	b.MovImm(wild, 0x40000000+int64(r.Intn(1<<20))*4096)
-	b.LoadB(isa.RAX, wild, 0) // faults; forwards transiently
-	block(1 + r.Intn(3))      // transient-only work
-	b.Xend()
-	b.Jmp(end)
-	b.Label(abort)
-	b.MovImm(isa.R14, 0xAB)
-	b.Label(end)
-	block(3 + r.Intn(4))
-	// Signal-suppressed transient block.
-	hLabel := newLabel()
-	done := newLabel()
-	b.MovImm(wild, 0x50000000+int64(r.Intn(1<<20))*4096)
-	b.LoadB(isa.RBX, wild, 0) // faults → handler
-	block(1 + r.Intn(3))      // transient-only
-	b.Jmp(done)
-	handlerIdx := b.Pos()
-	b.Label(hLabel)
-	b.MovImm(isa.R13, 0xCD)
-	b.Label(done)
-	block(2 + r.Intn(4))
-	b.Halt()
-	return b.MustAssemble(), handlerIdx
-}
-
-func TestDifferentialTransientBlocks(t *testing.T) {
-	const programs = 100
-	for i := 0; i < programs; i++ {
-		seed := int64(5000 + i)
-		gen := rand.New(rand.NewSource(seed))
-		prog, handler := genTransientProgram(gen)
-
-		ei := newDiffEnv(t)
-		ei.seedData(rand.New(rand.NewSource(seed * 3)))
-		im := New(ei.as)
-		im.SetSignalHandler(handler)
-		if err := im.Run(prog, 1_000_000); err != nil {
-			t.Fatalf("seed %d: interp: %v", seed, err)
-		}
-
-		ep := newDiffEnv(t)
-		ep.seedData(rand.New(rand.NewSource(seed * 3)))
-		pp := newDiffPipeline(t, ep)
-		pp.SetSignalHandler(handler)
-		if _, err := pp.Exec(prog, 10_000_000); err != nil {
-			t.Fatalf("seed %d: pipeline: %v", seed, err)
-		}
-		pp.SetSignalHandler(-1)
-
-		regs := append(append([]isa.Reg{}, genRegs...), isa.RSP, isa.R13, isa.R14)
-		for _, r := range regs {
-			if got, want := pp.Reg(r), im.Regs[r]; got != want {
-				t.Fatalf("seed %d: reg %v: pipeline %#x, interp %#x", seed, r, got, want)
-			}
-		}
-		gotMem, wantMem := ep.dataBytes(), ei.dataBytes()
-		for j := range wantMem {
-			if gotMem[j] != wantMem[j] {
-				t.Fatalf("seed %d: memory diverges at +%#x", seed, j)
-			}
-		}
 	}
 }

@@ -1,0 +1,31 @@
+package isa
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Dump returns a deterministic, field-exhaustive listing of the program: one
+// line per instruction carrying every Inst field, plus the code base. Unlike
+// Inst.String (a human-oriented rendering that elides operands irrelevant to
+// each op), Dump distinguishes any two programs that differ in any field, so
+// the fuzz generator's determinism tests can compare programs byte-for-byte
+// and corpus tools can deduplicate by content.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "base %#x insts %d\n", p.Base, len(p.Insts))
+	for i, in := range p.Insts {
+		fmt.Fprintf(&sb, "%4d: op=%s dst=%s src1=%s src2=%s imm=%#x cond=%s target=%d size=%d\n",
+			i, in.Op, in.Dst, in.Src1, in.Src2, uint64(in.Imm), in.Cond, in.Target, in.Size)
+	}
+	return sb.String()
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of Dump: a cheap content identity
+// for assembled programs. Two programs fingerprint equal iff they dump equal.
+func (p *Program) Fingerprint() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(p.Dump()))
+	return h.Sum64()
+}

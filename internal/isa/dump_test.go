@@ -1,0 +1,38 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpDistinguishesPrograms(t *testing.T) {
+	p1 := NewBuilder(0x400000).MovImm(RAX, 1).Halt().MustAssemble()
+	p2 := NewBuilder(0x400000).MovImm(RAX, 2).Halt().MustAssemble()
+	p3 := NewBuilder(0x401000).MovImm(RAX, 1).Halt().MustAssemble()
+
+	if p1.Dump() == p2.Dump() {
+		t.Fatal("programs differing in an immediate dump identically")
+	}
+	if p1.Dump() == p3.Dump() {
+		t.Fatal("programs differing in base dump identically")
+	}
+	if !strings.Contains(p1.Dump(), "op=movimm") || !strings.Contains(p1.Dump(), "op=halt") {
+		t.Fatalf("dump missing ops:\n%s", p1.Dump())
+	}
+}
+
+func TestFingerprintStableAndContentKeyed(t *testing.T) {
+	build := func(imm int64) *Program {
+		return NewBuilder(0x400000).MovImm(RBX, imm).StoreQ(RBX, 0, RAX).Halt().MustAssemble()
+	}
+	a, b := build(7), build(7)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical programs fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if a.Fingerprint() == build(8).Fingerprint() {
+		t.Fatal("distinct programs collide")
+	}
+}

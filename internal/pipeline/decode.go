@@ -113,6 +113,9 @@ func (r *uopRing) TruncateTo(keep int) {
 
 // allocUop takes a zeroed uop from the arena, growing it only when empty.
 func (p *Pipeline) allocUop() *uop {
+	if p.inv != nil {
+		p.inv.live++
+	}
 	if n := len(p.freeUops) - 1; n >= 0 {
 		u := p.freeUops[n]
 		p.freeUops = p.freeUops[:n]
@@ -124,6 +127,9 @@ func (p *Pipeline) allocUop() *uop {
 // recycleUop returns a uop to the arena once no pipeline structure references
 // it (after retirement or squash, with its trace record already emitted).
 func (p *Pipeline) recycleUop(u *uop) {
+	if p.inv != nil {
+		p.inv.live--
+	}
 	*u = uop{}
 	p.freeUops = append(p.freeUops, u)
 }

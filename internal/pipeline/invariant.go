@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"whisper/internal/isa"
+)
+
+// Violation is one invariant breach observed by an InvariantChecker.
+type Violation struct {
+	Cycle uint64
+	Msg   string
+}
+
+// InvariantChecker is a debug-build observer of a pipeline's internal
+// consistency, driven by the fuzzing subsystem (internal/fuzzgen). Attached
+// via SetInvariantChecker, it audits after every step and across Reset:
+//
+//   - cycle-counter monotonicity (Skip and skip-ahead included);
+//   - ROB/IDQ occupancy within the configured sizes, and RS occupancy within
+//     RSSize;
+//   - ROB and IDQ age order (fetch sequence numbers strictly increasing);
+//   - retire-order monotonicity (commits happen in fetch order);
+//   - the incrementally maintained ROB aggregates (rsOcc, fencesPending,
+//     execCount, memCount) against a full recount;
+//   - uop accounting: every allocated uop is in exactly one ring, and none
+//     leak across Machine.Reset (the arena must hold only zeroed uops).
+//
+// The checker is a pure observer: it never touches simulated state, so an
+// attached checker must not change a single cycle of any run — a contract the
+// speedguard pins. All hooks are nil-guarded; a pipeline without a checker
+// pays one predictable branch per step and per uop alloc/recycle.
+type InvariantChecker struct {
+	// MaxViolations bounds the retained violation list (default 16); further
+	// breaches are counted but not recorded.
+	MaxViolations int
+
+	checks     uint64
+	total      uint64
+	violations []Violation
+
+	live          int // uops taken from the arena and not yet recycled
+	lastCycle     uint64
+	lastRetireSeq uint64
+	haveRetire    bool
+	resets        uint64
+	retired       uint64
+}
+
+// NewInvariantChecker returns a detached checker; attach it with
+// (*Pipeline).SetInvariantChecker.
+func NewInvariantChecker() *InvariantChecker { return &InvariantChecker{} }
+
+// Checks returns the number of audit passes performed.
+func (c *InvariantChecker) Checks() uint64 { return c.checks }
+
+// Retired returns the number of commits observed.
+func (c *InvariantChecker) Retired() uint64 { return c.retired }
+
+// Resets returns the number of pipeline resets observed.
+func (c *InvariantChecker) Resets() uint64 { return c.resets }
+
+// Violations returns a copy of the recorded breaches.
+func (c *InvariantChecker) Violations() []Violation {
+	return append([]Violation(nil), c.violations...)
+}
+
+// Err summarises the audit: nil when every check passed, otherwise an error
+// naming the first breach and the total count.
+func (c *InvariantChecker) Err() error {
+	if c.total == 0 {
+		return nil
+	}
+	v := c.violations[0]
+	return fmt.Errorf("pipeline: %d invariant violation(s); first at cycle %d: %s", c.total, v.Cycle, v.Msg)
+}
+
+func (c *InvariantChecker) violatef(cycle uint64, format string, args ...any) {
+	c.total++
+	max := c.MaxViolations
+	if max <= 0 {
+		max = 16
+	}
+	if len(c.violations) < max {
+		c.violations = append(c.violations, Violation{Cycle: cycle, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// checkCycle audits the pipeline after one step (which may span many cycles
+// when the skip-ahead fast-forwarded an idle span).
+func (c *InvariantChecker) checkCycle(p *Pipeline) {
+	c.checks++
+	if p.cycle < c.lastCycle {
+		c.violatef(p.cycle, "cycle counter moved backwards: %d -> %d", c.lastCycle, p.cycle)
+	}
+	c.lastCycle = p.cycle
+
+	if n := p.rob.Len(); n > p.cfg.ROBSize {
+		c.violatef(p.cycle, "rob occupancy %d exceeds ROBSize %d", n, p.cfg.ROBSize)
+	}
+	if n := p.idq.Len(); n > p.cfg.IDQSize {
+		c.violatef(p.cycle, "idq occupancy %d exceeds IDQSize %d", n, p.cfg.IDQSize)
+	}
+	if got, want := c.live, p.rob.Len()+p.idq.Len(); got != want {
+		c.violatef(p.cycle, "live uop count %d != rob+idq occupancy %d (leak or double recycle)", got, want)
+	}
+	if p.rsOcc > p.cfg.RSSize {
+		c.violatef(p.cycle, "rsOcc %d exceeds RSSize %d", p.rsOcc, p.cfg.RSSize)
+	}
+
+	// Recount the incrementally maintained aggregates and check age order.
+	rs, fences, execs, mems := 0, 0, 0, 0
+	var prev uint64
+	for i := 0; i < p.rob.Len(); i++ {
+		u := p.rob.At(i)
+		if i > 0 && u.seq <= prev {
+			c.violatef(p.cycle, "rob age order broken at pos %d: seq %d after %d", i, u.seq, prev)
+		}
+		prev = u.seq
+		if u.done {
+			continue
+		}
+		rs++
+		if u.d.fence {
+			fences++
+		}
+		if u.started {
+			execs++
+			if u.d.load || u.d.in.Op == isa.OpRet {
+				mems++
+			}
+		}
+	}
+	for i := 1; i < p.idq.Len(); i++ {
+		if p.idq.At(i).seq <= p.idq.At(i-1).seq {
+			c.violatef(p.cycle, "idq age order broken at pos %d", i)
+		}
+	}
+	if rs != p.rsOcc {
+		c.violatef(p.cycle, "rsOcc aggregate %d, recount %d", p.rsOcc, rs)
+	}
+	if fences != p.fencesPending {
+		c.violatef(p.cycle, "fencesPending aggregate %d, recount %d", p.fencesPending, fences)
+	}
+	if execs != p.execCount {
+		c.violatef(p.cycle, "execCount aggregate %d, recount %d", p.execCount, execs)
+	}
+	if mems != p.memCount {
+		c.violatef(p.cycle, "memCount aggregate %d, recount %d", p.memCount, mems)
+	}
+}
+
+// noteRetire audits one commit: retirement must follow fetch order. Squashed
+// and fault-popped uops never reach here, so the observed sequence numbers
+// must be strictly increasing until the next Reset.
+func (c *InvariantChecker) noteRetire(u *uop) {
+	c.retired++
+	if c.haveRetire && u.seq <= c.lastRetireSeq {
+		c.violatef(0, "retire order broken: seq %d after %d", u.seq, c.lastRetireSeq)
+	}
+	c.lastRetireSeq = u.seq
+	c.haveRetire = true
+}
+
+// noteReset audits the power-on contract of Pipeline.Reset: no uop may
+// survive outside the arena, the rings must be empty, every arena uop must be
+// zeroed, and the cycle counter restarts from zero.
+func (c *InvariantChecker) noteReset(p *Pipeline) {
+	c.resets++
+	c.checks++
+	if c.live != 0 {
+		c.violatef(p.cycle, "%d uop(s) leaked across Reset", c.live)
+	}
+	if p.rob.Len() != 0 || p.idq.Len() != 0 {
+		c.violatef(p.cycle, "rings not empty after Reset: rob %d, idq %d", p.rob.Len(), p.idq.Len())
+	}
+	for i, u := range p.freeUops {
+		if *u != (uop{}) {
+			c.violatef(p.cycle, "arena uop %d not zeroed after Reset", i)
+			break
+		}
+	}
+	if p.cycle != 0 {
+		c.violatef(p.cycle, "cycle counter %d not cleared by Reset", p.cycle)
+	}
+	c.lastCycle = 0
+	c.haveRetire = false
+	c.lastRetireSeq = 0
+}

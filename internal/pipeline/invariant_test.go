@@ -1,0 +1,89 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"whisper/internal/isa"
+)
+
+func invProgram() *isa.Program {
+	return b().
+		MovImm(isa.RAX, 0).
+		MovImm(isa.RBX, 10).
+		MovImm(isa.RCX, dataBase).
+		Label("loop").
+		Add(isa.RAX, isa.RAX, isa.RBX).
+		StoreQ(isa.RCX, 0, isa.RAX).
+		LoadQ(isa.RDX, isa.RCX, 0).
+		Lfence().
+		SubImm(isa.RBX, isa.RBX, 1).
+		Jcc(isa.CondNE, "loop").
+		Halt().
+		MustAssemble()
+}
+
+func TestInvariantCheckerCleanRun(t *testing.T) {
+	e := newEnv(t, nil)
+	c := NewInvariantChecker()
+	e.p.SetInvariantChecker(c)
+	e.run(invProgram())
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean run violates invariants: %v", err)
+	}
+	if c.Checks() == 0 {
+		t.Fatal("checker attached but never ran")
+	}
+	if c.Retired() == 0 {
+		t.Fatal("no commits observed")
+	}
+}
+
+func TestInvariantCheckerDetectsCorruption(t *testing.T) {
+	e := newEnv(t, nil)
+	c := NewInvariantChecker()
+	c.MaxViolations = 2
+	e.p.SetInvariantChecker(c)
+	e.run(invProgram())
+
+	// Corrupt an incrementally maintained aggregate behind the checker's back;
+	// the next audit must recount and flag it, repeatedly, with the retained
+	// list bounded by MaxViolations.
+	e.p.rsOcc = 7
+	for i := 0; i < 5; i++ {
+		c.checkCycle(e.p)
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("corrupted rsOcc aggregate not detected")
+	}
+	if !strings.Contains(err.Error(), "rsOcc") {
+		t.Fatalf("unexpected violation: %v", err)
+	}
+	if got := len(c.Violations()); got != 2 {
+		t.Fatalf("retained %d violations, want MaxViolations=2", got)
+	}
+}
+
+func TestInvariantCheckerReset(t *testing.T) {
+	e := newEnv(t, nil)
+	c := NewInvariantChecker()
+	e.p.SetInvariantChecker(c)
+	e.run(invProgram())
+	e.p.Reset(e.as)
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean Reset violates invariants: %v", err)
+	}
+	if c.Resets() != 1 {
+		t.Fatalf("resets = %d, want 1", c.Resets())
+	}
+
+	// A uop taken from the arena and never returned is exactly the leak the
+	// Reset audit exists to catch.
+	_ = e.p.allocUop()
+	e.p.Reset(e.as)
+	err := c.Err()
+	if err == nil || !strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("leaked uop not detected across Reset: %v", err)
+	}
+}

@@ -98,6 +98,7 @@ type Pipeline struct {
 
 	clears []ClearEvent
 	tracer TraceFunc
+	inv    *InvariantChecker // debug-build auditor; nil in production runs
 }
 
 // New builds a core from a configuration and shared resources. All resource
@@ -142,6 +143,19 @@ func (p *Pipeline) Reg(r isa.Reg) uint64 { return p.regs[r] }
 func (p *Pipeline) SetReg(r isa.Reg, v uint64) {
 	if r != isa.RZERO {
 		p.regs[r] = v
+	}
+}
+
+// SetInvariantChecker attaches (or, with nil, detaches) a debug-build
+// consistency auditor. The checker observes every step, commit, uop
+// alloc/recycle, and Reset; it never mutates simulated state. Unlike the
+// tracer it survives Reset, so a reused machine stays audited across runs.
+func (p *Pipeline) SetInvariantChecker(c *InvariantChecker) {
+	p.inv = c
+	if c != nil {
+		c.live = p.rob.Len() + p.idq.Len()
+		c.lastCycle = p.cycle
+		c.haveRetire = false
 	}
 }
 
@@ -210,6 +224,9 @@ func (p *Pipeline) StepCycle() (bool, error) {
 	if err := p.step(false); err != nil {
 		return p.halted, err
 	}
+	if p.inv != nil {
+		p.inv.checkCycle(p)
+	}
 	return p.halted, nil
 }
 
@@ -236,6 +253,9 @@ func (p *Pipeline) Exec(prog *isa.Program, maxCycles uint64) (Result, error) {
 		if stepErr := p.step(true); stepErr != nil {
 			err = stepErr
 			break
+		}
+		if p.inv != nil {
+			p.inv.checkCycle(p)
 		}
 	}
 	return p.ExecResult(), err
@@ -546,6 +566,9 @@ func (p *Pipeline) retire() error {
 			return nil
 		}
 		p.commit(u)
+		if p.inv != nil {
+			p.inv.noteRetire(u)
+		}
 		p.emitTrace(u, true)
 		p.rob.PopFront()
 		halted := p.halted
@@ -747,4 +770,7 @@ func (p *Pipeline) Reset(as *paging.AddressSpace) {
 	p.clears = p.clears[:0]
 	p.tracer = nil
 	p.res.AS = as
+	if p.inv != nil {
+		p.inv.noteReset(p)
+	}
 }

@@ -15,6 +15,7 @@ import (
 	"whisper/internal/kernel"
 	"whisper/internal/obs"
 	"whisper/internal/obs/logging"
+	"whisper/internal/pipeline"
 )
 
 // benchRecord is the BENCH_ci.json schema the CI bench-regression job
@@ -80,6 +81,51 @@ func TestProbeSteadyStateZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("steady-state probe allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestInvariantCheckerFreeWhenDetached pins the debug-hook contract behind
+// the fuzzing subsystem: the pipeline.InvariantChecker hook is nil-guarded on
+// the hot path, so production runs (nil checker — every CLI and server path)
+// keep the steady-state zero-alloc property above, and an attached checker is
+// a pure observer — the simulated cycle count of a probe campaign is
+// bit-identical with and without it.
+func TestInvariantCheckerFreeWhenDetached(t *testing.T) {
+	campaign := func(inv *pipeline.InvariantChecker) uint64 {
+		m, err := cpu.NewMachine(cpu.I7_7700(), 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv != nil {
+			m.Pipe.SetInvariantChecker(inv)
+		}
+		k, err := kernel.Boot(m, kernel.Config{KASLR: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := core.NewProber(k.Machine(), core.SuppressTSX, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 128; i++ {
+			if _, err := pr.Probe(core.UnmappedVA, uint64(i%256), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Pipe.Cycle()
+	}
+
+	bare := campaign(nil)
+	inv := pipeline.NewInvariantChecker()
+	audited := campaign(inv)
+	if bare != audited {
+		t.Fatalf("invariant checker perturbs simulation: %d cycles audited, %d bare", audited, bare)
+	}
+	if err := inv.Err(); err != nil {
+		t.Fatalf("probe campaign violates pipeline invariants: %v", err)
+	}
+	if inv.Checks() == 0 {
+		t.Fatal("checker attached but never ran")
 	}
 }
 
