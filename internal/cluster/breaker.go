@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults; Config can override the threshold and base cooldown.
+const (
+	defaultBreakAfter    = 3
+	defaultBreakCooldown = 500 * time.Millisecond
+	maxBreakCooldown     = 15 * time.Second
+)
+
+// breaker is a per-backend circuit breaker for the forwarding path. It
+// reacts on request timescales — milliseconds — where the pool's active
+// prober reacts on probe timescales; together a misbehaving backend stops
+// receiving traffic almost immediately and stays ejected until it proves
+// itself again.
+//
+// States: closed (fails < threshold), open (until openUntil), half-open
+// (past openUntil: one trial request is let through at a time; success
+// closes, failure re-opens with doubled cooldown, capped).
+type breaker struct {
+	threshold int
+	base      time.Duration
+
+	mu        sync.Mutex
+	fails     int
+	cooldown  time.Duration
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakAfter
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakCooldown
+	}
+	return &breaker{threshold: threshold, base: cooldown, cooldown: cooldown}
+}
+
+// allow reports whether a request may be sent now. In the open state it
+// re-arms the trial window, so concurrent callers don't all pile onto a
+// half-open backend at once.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.threshold {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	// Half-open: admit this caller as the trial and push the window out so
+	// the next caller waits for the trial's verdict (or the next window).
+	b.openUntil = now.Add(b.cooldown)
+	return true
+}
+
+// success closes the breaker and resets the cooldown ladder.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.cooldown = b.base
+}
+
+// failure records a failed attempt; crossing the threshold opens the
+// breaker, and failing while open doubles the cooldown (capped).
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails < b.threshold {
+		return
+	}
+	b.openUntil = now.Add(b.cooldown)
+	if b.cooldown < maxBreakCooldown {
+		b.cooldown *= 2
+		if b.cooldown > maxBreakCooldown {
+			b.cooldown = maxBreakCooldown
+		}
+	}
+}
+
+// open reports whether the breaker is currently refusing traffic.
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold && now.Before(b.openUntil)
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedging defaults.
+const (
+	// hedgeWindow is how many recent successful latencies per experiment
+	// feed the p95 estimate.
+	hedgeWindow = 64
+	// hedgeMinSamples gates hedging until the estimate means something: a
+	// p95 off two samples would hedge everything or nothing.
+	hedgeMinSamples = 8
+	// defaultHedgeMin floors the hedge delay so cache hits (sub-ms) never
+	// trigger speculative duplicates.
+	defaultHedgeMin = 25 * time.Millisecond
+)
+
+// latencies estimates a per-experiment p95 from a sliding window of recent
+// successful forward latencies. The gateway hedges a request that has been
+// in flight longer than its experiment's p95: at that point the attempt is
+// statistically likely stuck (slow backend, GC pause, dying node), and a
+// duplicate on the next replica is cheap because execution is deterministic
+// and cached.
+type latencies struct {
+	mu     sync.Mutex
+	byName map[string]*latWindow
+}
+
+type latWindow struct {
+	ring [hedgeWindow]time.Duration
+	n    int // total observations (ring index = n % hedgeWindow)
+}
+
+func newLatencies() *latencies {
+	return &latencies{byName: make(map[string]*latWindow)}
+}
+
+// observe records one successful forward's latency.
+func (l *latencies) observe(name string, d time.Duration) {
+	l.mu.Lock()
+	w := l.byName[name]
+	if w == nil {
+		w = &latWindow{}
+		l.byName[name] = w
+	}
+	w.ring[w.n%hedgeWindow] = d
+	w.n++
+	l.mu.Unlock()
+}
+
+// p95 returns the window's 95th percentile, or false until enough samples
+// have accumulated.
+func (l *latencies) p95(name string) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	w := l.byName[name]
+	if w == nil || w.n < hedgeMinSamples {
+		return 0, false
+	}
+	n := w.n
+	if n > hedgeWindow {
+		n = hedgeWindow
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, w.ring[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return buf[(n-1)*95/100], true
+}

@@ -1,0 +1,476 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whisper/internal/obs"
+	"whisper/internal/server"
+)
+
+// Pool probe defaults.
+const (
+	defaultProbeInterval = 2 * time.Second
+	defaultProbeTimeout  = time.Second
+	defaultEjectAfter    = 3
+	maxProbeBackoff      = 30 * time.Second
+	defaultLoadFactor    = 1.25
+)
+
+// backend is one pool member: its address, its routing state, and the
+// request-path trackers (inflight load, circuit breaker) the picker reads.
+type backend struct {
+	name string // as configured, label-friendly ("127.0.0.1:8090")
+	base string // normalized URL ("http://127.0.0.1:8090")
+
+	inflight atomic.Int64
+	br       *breaker
+
+	mu         sync.Mutex
+	healthy    bool
+	draining   bool
+	fails      int           // consecutive probe failures
+	backoff    time.Duration // current reinstatement probe backoff
+	nextProbe  time.Time     // ejected backends probe on the backoff schedule
+	queueDepth int           // backend-reported inflight+waiting, from /readyz
+}
+
+// routeable reports whether the picker may send this backend new work.
+func (b *backend) routeable(now time.Time) bool {
+	b.mu.Lock()
+	ok := b.healthy && !b.draining
+	b.mu.Unlock()
+	return ok && !b.br.open(now)
+}
+
+// Pool is the health-checked backend set behind a Gateway: the configured
+// members (static list, reloadable), the consistent-hash ring over them,
+// and an active prober that ejects and reinstates members.
+type Pool struct {
+	cfg  PoolConfig
+	reg  *obs.Registry
+	log  *slog.Logger
+	http *http.Client
+
+	mu       sync.Mutex
+	ring     *Ring
+	backends map[string]*backend
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// Backends is the initial member list ("host:port" or full URLs).
+	Backends []string
+	// ProbeInterval is the health-check cadence (jittered ±25%; <= 0:
+	// defaultProbeInterval).
+	ProbeInterval time.Duration
+	// ProbeTimeout caps one probe round trip (<= 0: defaultProbeTimeout).
+	ProbeTimeout time.Duration
+	// EjectAfter is the consecutive-failure count that ejects a backend
+	// (<= 0: defaultEjectAfter).
+	EjectAfter int
+	// LoadFactor is the bounded-load ceiling multiplier: a backend is
+	// skipped (affinity permitting) once its inflight count exceeds
+	// LoadFactor× the fair share (<= 1: defaultLoadFactor).
+	LoadFactor float64
+	// BreakAfter / BreakCooldown configure each member's circuit breaker
+	// (<= 0: breaker defaults).
+	BreakAfter    int
+	BreakCooldown time.Duration
+	// HTTP is the probe (and, via Gateway, forwarding) transport; nil uses
+	// a dedicated client.
+	HTTP *http.Client
+	// Obs receives pool telemetry; nil disables it.
+	Obs *obs.Registry
+	// Log receives ejection/reinstatement events; nil discards.
+	Log *slog.Logger
+}
+
+// NewPool builds the pool and marks every backend healthy (optimistic: the
+// first probe round corrects that within one interval, and the request
+// path's breaker reacts even sooner). Call Start to begin probing and Stop
+// to halt it.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = defaultProbeTimeout
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = defaultEjectAfter
+	}
+	if cfg.LoadFactor <= 1 {
+		cfg.LoadFactor = defaultLoadFactor
+	}
+	log := cfg.Log
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	p := &Pool{
+		cfg:      cfg,
+		reg:      cfg.Obs,
+		log:      log,
+		http:     hc,
+		backends: make(map[string]*backend),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	p.SetBackends(cfg.Backends)
+	return p
+}
+
+// discardHandler avoids importing logging just for a discard logger.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// normalizeAddr mirrors client.New's address handling.
+func normalizeAddr(addr string) (name, base string) {
+	name = strings.TrimSpace(addr)
+	base = name
+	if base != "" && !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	name = strings.TrimPrefix(strings.TrimPrefix(name, "http://"), "https://")
+	name = strings.TrimRight(name, "/")
+	return name, base
+}
+
+// SetBackends replaces the member set (the -backends-file reload path).
+// Retained members keep their health and breaker state; new members start
+// healthy; removed members leave the ring. The ring is rebuilt from the
+// configured set — ejection never rebuilds it, which is what makes
+// eject/reinstate minimal-remap.
+func (p *Pool) SetBackends(addrs []string) {
+	p.mu.Lock()
+	next := make(map[string]*backend, len(addrs))
+	var names []string
+	for _, addr := range addrs {
+		name, base := normalizeAddr(addr)
+		if name == "" {
+			continue
+		}
+		if _, dup := next[name]; dup {
+			continue
+		}
+		if b, ok := p.backends[name]; ok {
+			next[name] = b
+		} else {
+			next[name] = &backend{
+				name:    name,
+				base:    base,
+				healthy: true,
+				br:      newBreaker(p.cfg.BreakAfter, p.cfg.BreakCooldown),
+			}
+		}
+		names = append(names, name)
+	}
+	removed := 0
+	for name := range p.backends {
+		if _, ok := next[name]; !ok {
+			removed++
+		}
+	}
+	p.backends = next
+	p.ring = NewRing(names)
+	p.mu.Unlock()
+
+	p.reg.Counter("gate.pool.reloads").Inc()
+	p.reg.Gauge("gate.backends.configured").Set(float64(len(names)))
+	p.log.LogAttrs(context.Background(), slog.LevelInfo, "backend set updated",
+		slog.Int("members", len(names)), slog.Int("removed", removed))
+	p.publishHealthGauges()
+}
+
+// Start launches the probe loop.
+func (p *Pool) Start() { go p.loop() }
+
+// Stop halts probing and waits for the loop to exit.
+func (p *Pool) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+func (p *Pool) loop() {
+	defer close(p.done)
+	for {
+		// Jitter ±25% so a fleet of gateways doesn't probe in lockstep.
+		d := p.cfg.ProbeInterval/2 + time.Duration(rand.Int63n(int64(p.cfg.ProbeInterval)))/2 +
+			p.cfg.ProbeInterval/4
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(d):
+		}
+		p.ProbeAll()
+	}
+}
+
+// ProbeAll health-checks every due member once, concurrently. Ejected
+// members are only probed when their backoff window has elapsed, so a dead
+// backend costs one request per backoff period, not per interval.
+func (p *Pool) ProbeAll() {
+	now := time.Now()
+	var wg sync.WaitGroup
+	for _, b := range p.members() {
+		b.mu.Lock()
+		due := b.healthy || !now.Before(b.nextProbe)
+		b.mu.Unlock()
+		if !due {
+			continue
+		}
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			p.probe(b)
+		}(b)
+	}
+	wg.Wait()
+	p.publishHealthGauges()
+}
+
+// probeVerdict classifies one health-check round trip.
+type probeVerdict int
+
+const (
+	probeUp probeVerdict = iota
+	probeDraining
+	probeDown
+)
+
+// probe checks one backend's /readyz (falling back to /healthz for
+// backends predating the readiness endpoint) and applies the verdict.
+func (p *Pool) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout)
+	defer cancel()
+	verdict, depth := p.check(ctx, b, "/readyz")
+	if verdict == probeDown && ctx.Err() == nil {
+		// An older whisperd without /readyz 404s; its /healthz still
+		// distinguishes serving (200) from draining (503).
+		verdict, depth = p.check(ctx, b, "/healthz")
+	}
+	p.apply(b, verdict, depth)
+}
+
+// check performs one GET probe. For /readyz it decodes the JSON readiness
+// document, so a 503-but-alive draining backend is distinguished from a
+// dead one.
+func (p *Pool) check(ctx context.Context, b *backend, path string) (probeVerdict, int) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+path, nil)
+	if err != nil {
+		return probeDown, 0
+	}
+	resp, err := p.http.Do(req)
+	if err != nil {
+		return probeDown, 0
+	}
+	defer resp.Body.Close()
+	var ready server.Readiness
+	decoded := json.NewDecoder(resp.Body).Decode(&ready) == nil && ready.Status != ""
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if decoded && ready.Draining {
+			return probeDraining, ready.QueueInflight + ready.QueueWaiting
+		}
+		if decoded {
+			return probeUp, ready.QueueInflight + ready.QueueWaiting
+		}
+		return probeUp, 0
+	case resp.StatusCode == http.StatusServiceUnavailable && decoded && ready.Draining:
+		return probeDraining, ready.QueueInflight + ready.QueueWaiting
+	default:
+		return probeDown, 0
+	}
+}
+
+// apply folds a probe verdict into the backend's routing state.
+func (p *Pool) apply(b *backend, v probeVerdict, depth int) {
+	now := time.Now()
+	b.mu.Lock()
+	wasHealthy, wasDraining := b.healthy, b.draining
+	switch v {
+	case probeUp:
+		b.healthy = true
+		b.draining = false
+		b.fails = 0
+		b.backoff = 0
+		b.queueDepth = depth
+	case probeDraining:
+		// Alive but winding down: stop routing, don't count failures — a
+		// draining backend comes back as itself (restart) or disappears
+		// from the config, it is not broken.
+		b.draining = true
+		b.fails = 0
+		b.queueDepth = depth
+	case probeDown:
+		b.fails++
+		if b.healthy && b.fails >= p.cfg.EjectAfter {
+			b.healthy = false
+			b.backoff = p.cfg.ProbeInterval
+		} else if !b.healthy {
+			// Already ejected: exponential reinstatement backoff.
+			b.backoff *= 2
+			if b.backoff > maxProbeBackoff {
+				b.backoff = maxProbeBackoff
+			}
+		}
+		b.nextProbe = now.Add(b.backoff)
+	}
+	nowHealthy, nowDraining := b.healthy, b.draining
+	fails := b.fails
+	b.mu.Unlock()
+
+	lbl := obs.L("backend", b.name)
+	switch {
+	case wasHealthy && !nowHealthy:
+		p.reg.Counter("gate.ejections", lbl).Inc()
+		p.log.LogAttrs(context.Background(), slog.LevelWarn, "backend ejected",
+			slog.String("backend", b.name), slog.Int("consecutive_failures", fails))
+	case !wasHealthy && nowHealthy:
+		p.reg.Counter("gate.reinstatements", lbl).Inc()
+		p.log.LogAttrs(context.Background(), slog.LevelInfo, "backend reinstated",
+			slog.String("backend", b.name))
+	case !wasDraining && nowDraining:
+		p.log.LogAttrs(context.Background(), slog.LevelInfo, "backend draining, rerouting",
+			slog.String("backend", b.name))
+	}
+}
+
+// reportFailure folds a forwarding-path failure into health accounting, so
+// a backend that died between probes is ejected by the traffic it drops,
+// not only by the next probe round.
+func (p *Pool) reportFailure(b *backend) {
+	p.apply(b, probeDown, 0)
+	p.publishHealthGauges()
+}
+
+// reportSuccess resets failure accounting from the forwarding path.
+func (p *Pool) reportSuccess(b *backend) {
+	b.mu.Lock()
+	b.fails = 0
+	if !b.healthy {
+		b.healthy = true
+		b.backoff = 0
+		b.mu.Unlock()
+		p.reg.Counter("gate.reinstatements", obs.L("backend", b.name)).Inc()
+		p.publishHealthGauges()
+		return
+	}
+	b.mu.Unlock()
+}
+
+// members snapshots the backend set.
+func (p *Pool) members() []*backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*backend, 0, len(p.backends))
+	for _, b := range p.backends {
+		out = append(out, b)
+	}
+	return out
+}
+
+// lookup resolves a member by name.
+func (p *Pool) lookup(name string) *backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.backends[name]
+}
+
+// Healthy returns how many members are currently routeable.
+func (p *Pool) Healthy() int {
+	now := time.Now()
+	n := 0
+	for _, b := range p.members() {
+		if b.routeable(now) {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the configured member count.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.backends)
+}
+
+// pick returns the candidate backends for a request hash: the ring's
+// preference order for the key, filtered to routeable members, with the
+// bounded-load rule applied — members whose inflight count already exceeds
+// LoadFactor× the fair share are moved to the back, so a hot backend sheds
+// overflow to its ring successor while cold keys keep full cache affinity.
+func (p *Pool) pick(hash string) []*backend {
+	p.mu.Lock()
+	ring := p.ring
+	p.mu.Unlock()
+	now := time.Now()
+	var cands []*backend
+	total := int64(0)
+	for _, name := range ring.Order(hash) {
+		b := p.lookup(name)
+		if b == nil || !b.routeable(now) {
+			continue
+		}
+		cands = append(cands, b)
+		total += b.inflight.Load()
+	}
+	if len(cands) < 2 {
+		return cands
+	}
+	ceiling := int64(float64(total+1)*p.cfg.LoadFactor/float64(len(cands))) + 1
+	ordered := make([]*backend, 0, len(cands))
+	var overloaded []*backend
+	for _, b := range cands {
+		if b.inflight.Load()+1 <= ceiling {
+			ordered = append(ordered, b)
+		} else {
+			overloaded = append(overloaded, b)
+		}
+	}
+	return append(ordered, overloaded...)
+}
+
+// publishHealthGauges refreshes the per-backend and aggregate health
+// gauges /metrics serves.
+func (p *Pool) publishHealthGauges() {
+	if p.reg == nil {
+		return
+	}
+	now := time.Now()
+	healthy := 0
+	for _, b := range p.members() {
+		lbl := obs.L("backend", b.name)
+		up := 0.0
+		if b.routeable(now) {
+			up = 1
+			healthy++
+		}
+		p.reg.Gauge("gate.backend.healthy", lbl).Set(up)
+		b.mu.Lock()
+		depth := b.queueDepth
+		b.mu.Unlock()
+		p.reg.Gauge("gate.backend.queue_depth", lbl).Set(float64(depth))
+	}
+	p.reg.Gauge("gate.backends.healthy").Set(float64(healthy))
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whisper/internal/obs"
+	"whisper/internal/server"
+)
+
+// readyBackend is a controllable fake whisperd health surface: its /readyz
+// answer flips between serving, draining, and dead without restarting the
+// listener.
+type readyBackend struct {
+	ts *httptest.Server
+	// mode: 0 serving, 1 draining, 2 dead (connection-level refusal is
+	// simulated with a hijack-close; a plain 500 would also count as down).
+	mode atomic.Int32
+	// legacy drops /readyz (404) so the prober must fall back to /healthz.
+	legacy atomic.Bool
+}
+
+func newReadyBackend(t *testing.T) *readyBackend {
+	t.Helper()
+	b := &readyBackend{}
+	b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if b.mode.Load() == 2 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("test server not hijackable")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		draining := b.mode.Load() == 1
+		switch r.URL.Path {
+		case "/readyz":
+			if b.legacy.Load() {
+				http.NotFound(w, r)
+				return
+			}
+			ready := server.Readiness{Status: "ok", QueueInflight: 2, QueueWaiting: 1}
+			status := http.StatusOK
+			if draining {
+				ready.Status, ready.Draining, status = "draining", true, http.StatusServiceUnavailable
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(ready)
+		case "/healthz":
+			if draining {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte("ok\n"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func (b *readyBackend) addr() string { return strings.TrimPrefix(b.ts.URL, "http://") }
+
+// TestPoolEjectionAndReinstatement drives the probe loop's state machine by
+// hand: EjectAfter consecutive down-probes eject a backend, a recovered
+// backend is reinstated once its backoff window passes, and both
+// transitions surface as counters.
+func TestPoolEjectionAndReinstatement(t *testing.T) {
+	b := newReadyBackend(t)
+	reg := obs.NewRegistry()
+	p := NewPool(PoolConfig{
+		Backends:      []string{b.addr()},
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		EjectAfter:    3,
+		Obs:           reg,
+	})
+
+	if p.Healthy() != 1 {
+		t.Fatalf("Healthy = %d at start (optimistic), want 1", p.Healthy())
+	}
+
+	b.mode.Store(2) // dead
+	for i := 0; i < 2; i++ {
+		p.ProbeAll()
+	}
+	if p.Healthy() != 1 {
+		t.Fatalf("ejected after %d failures, want EjectAfter=3", 2)
+	}
+	p.ProbeAll()
+	if p.Healthy() != 0 {
+		t.Fatal("backend not ejected after 3 consecutive probe failures")
+	}
+	if got := reg.Snapshot().Counters[`gate.ejections{backend=`+b.addr()+`}`]; got != 1 {
+		t.Fatalf("gate.ejections = %v, want 1", got)
+	}
+
+	// Recovered, but still inside the reinstatement backoff: not yet probed.
+	b.mode.Store(0)
+	p.ProbeAll()
+	if p.Healthy() != 0 {
+		t.Fatal("ejected backend probed before its backoff elapsed")
+	}
+	time.Sleep(10 * time.Millisecond) // backoff = ProbeInterval after first ejection
+	p.ProbeAll()
+	if p.Healthy() != 1 {
+		t.Fatal("backend not reinstated after recovery")
+	}
+	if got := reg.Snapshot().Counters[`gate.reinstatements{backend=`+b.addr()+`}`]; got != 1 {
+		t.Fatalf("gate.reinstatements = %v, want 1", got)
+	}
+}
+
+// TestPoolDrainingStopsRoutingWithoutEjection checks the third probe
+// verdict: a draining backend leaves the candidate set immediately but
+// accrues no failures — it is winding down, not broken — and returns the
+// moment it reports serving again.
+func TestPoolDrainingStopsRoutingWithoutEjection(t *testing.T) {
+	b := newReadyBackend(t)
+	reg := obs.NewRegistry()
+	p := NewPool(PoolConfig{Backends: []string{b.addr()}, Obs: reg})
+
+	b.mode.Store(1) // draining
+	for i := 0; i < 5; i++ {
+		p.ProbeAll()
+	}
+	if p.Healthy() != 0 {
+		t.Fatal("draining backend still routeable")
+	}
+	if got := reg.Snapshot().Counters[`gate.ejections{backend=`+b.addr()+`}`]; got != 0 {
+		t.Fatalf("draining counted as ejection: gate.ejections = %v", got)
+	}
+
+	b.mode.Store(0)
+	p.ProbeAll() // no backoff to wait out: draining never ejected it
+	if p.Healthy() != 1 {
+		t.Fatal("backend not routeable again after drain ended")
+	}
+}
+
+// TestPoolHealthzFallback checks a backend without /readyz (older whisperd)
+// is still probed correctly through /healthz.
+func TestPoolHealthzFallback(t *testing.T) {
+	b := newReadyBackend(t)
+	b.legacy.Store(true)
+	p := NewPool(PoolConfig{Backends: []string{b.addr()}, EjectAfter: 1})
+	p.ProbeAll()
+	if p.Healthy() != 1 {
+		t.Fatal("healthy legacy backend (404 /readyz, 200 /healthz) was ejected")
+	}
+	b.mode.Store(1)
+	p.ProbeAll()
+	if p.Healthy() != 0 {
+		t.Fatal("draining legacy backend still routeable")
+	}
+}
+
+// TestPoolSetBackendsRetainsState checks the reload path: members kept
+// across a SetBackends call keep their health state, new members join
+// healthy, and removed members leave the ring.
+func TestPoolSetBackendsRetainsState(t *testing.T) {
+	dead := newReadyBackend(t)
+	dead.mode.Store(2)
+	live := newReadyBackend(t)
+	p := NewPool(PoolConfig{
+		Backends:   []string{dead.addr(), live.addr()},
+		EjectAfter: 1,
+	})
+	p.ProbeAll()
+	if p.Healthy() != 1 {
+		t.Fatalf("Healthy = %d after probing one dead member, want 1", p.Healthy())
+	}
+
+	// Reload keeping both and adding a third: the dead member must stay
+	// ejected (state retained), not reset to optimistic-healthy.
+	extra := newReadyBackend(t)
+	p.SetBackends([]string{dead.addr(), live.addr(), extra.addr()})
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d after reload, want 3", p.Size())
+	}
+	if p.Healthy() != 2 {
+		t.Fatalf("Healthy = %d after reload, want 2 (ejection retained)", p.Healthy())
+	}
+
+	// Reload dropping the dead member entirely.
+	p.SetBackends([]string{live.addr(), extra.addr()})
+	if p.Size() != 2 || p.Healthy() != 2 {
+		t.Fatalf("Size, Healthy = %d, %d after removal, want 2, 2", p.Size(), p.Healthy())
+	}
+	for _, name := range p.ring.Members() {
+		if name == dead.addr() {
+			t.Fatal("removed backend still on the ring")
+		}
+	}
+}
+
+// TestPoolPickSkipsUnrouteable checks pick filters ejected members while
+// preserving ring order for the rest.
+func TestPoolPickSkipsUnrouteable(t *testing.T) {
+	a := newReadyBackend(t)
+	b := newReadyBackend(t)
+	p := NewPool(PoolConfig{Backends: []string{a.addr(), b.addr()}, EjectAfter: 1})
+
+	cands := p.pick("some-request-hash")
+	if len(cands) != 2 {
+		t.Fatalf("pick returned %d candidates, want 2", len(cands))
+	}
+	home := cands[0].name
+
+	// Eject the home backend: pick must return only the other.
+	var deadBackend *readyBackend
+	if home == a.addr() {
+		deadBackend = a
+	} else {
+		deadBackend = b
+	}
+	deadBackend.mode.Store(2)
+	p.ProbeAll()
+	cands = p.pick("some-request-hash")
+	if len(cands) != 1 || cands[0].name == home {
+		t.Fatalf("pick after ejection = %v, want only the surviving backend", names(cands))
+	}
+}
+
+// TestPoolBoundedLoadDemotesHotBackend checks the bounded-load rule: a
+// backend far past its fair share of in-flight work is moved behind its
+// ring successors, and returns to the front once the load clears.
+func TestPoolBoundedLoadDemotesHotBackend(t *testing.T) {
+	a := newReadyBackend(t)
+	b := newReadyBackend(t)
+	p := NewPool(PoolConfig{Backends: []string{a.addr(), b.addr()}, LoadFactor: 1.25})
+
+	cands := p.pick("hot-key")
+	home := cands[0]
+	home.inflight.Store(100) // way past 1.25× the fair share of 100 total
+
+	cands = p.pick("hot-key")
+	if cands[0] == home {
+		t.Fatal("overloaded home backend still first in pick order")
+	}
+	if len(cands) != 2 || cands[1] != home {
+		t.Fatalf("overloaded backend dropped instead of demoted: %v", names(cands))
+	}
+
+	home.inflight.Store(0)
+	cands = p.pick("hot-key")
+	if cands[0] != home {
+		t.Fatal("home backend not restored to the front after load cleared")
+	}
+}
+
+func names(bs []*backend) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.name
+	}
+	return out
+}
+
+// TestBreakerStateMachine pins the circuit breaker's closed → open →
+// half-open → closed cycle and the doubling cooldown.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	br := newBreaker(3, 100*time.Millisecond)
+
+	for i := 0; i < 3; i++ {
+		if !br.allow(now) {
+			t.Fatalf("breaker open after only %d failures", i)
+		}
+		br.failure(now)
+	}
+	if br.allow(now) {
+		t.Fatal("breaker closed after reaching the failure threshold")
+	}
+	if !br.open(now) {
+		t.Fatal("open() disagrees with allow()")
+	}
+
+	// Past the cooldown: half-open admits exactly one trial, and re-arms the
+	// window so a second caller at the same instant is rejected.
+	later := now.Add(150 * time.Millisecond)
+	if !br.allow(later) {
+		t.Fatal("breaker still closed after cooldown elapsed")
+	}
+	if br.allow(later) {
+		t.Fatal("half-open breaker admitted two concurrent trials")
+	}
+
+	// Trial fails: cooldown doubles.
+	br.failure(later)
+	if br.allow(later.Add(150 * time.Millisecond)) {
+		t.Fatal("breaker reopened on the base cooldown; failure should have doubled it")
+	}
+	if !br.allow(later.Add(250 * time.Millisecond)) {
+		t.Fatal("breaker not half-open after the doubled cooldown")
+	}
+
+	// Trial succeeds: closed, ladder reset.
+	br.success()
+	if !br.allow(later.Add(300 * time.Millisecond)) {
+		t.Fatal("breaker not closed after a successful trial")
+	}
+	if br.open(time.Unix(0, 0)) {
+		t.Fatal("closed breaker reports open")
+	}
+}

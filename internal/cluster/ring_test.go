@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func backendNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8090", i+1)
+	}
+	return out
+}
+
+// TestRingBalance checks the vnode count keeps key distribution near fair
+// at the pool sizes the gateway is designed for: with 10k keys every
+// backend's share stays within [0.5, 1.6]× of the mean for 3, 5, and 16
+// backends.
+func TestRingBalance(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{3, 5, 16} {
+		n := n
+		t.Run(fmt.Sprintf("%d-backends", n), func(t *testing.T) {
+			ring := NewRing(backendNames(n))
+			counts := map[string]int{}
+			for i := 0; i < keys; i++ {
+				home, ok := ring.Pick(fmt.Sprintf("request-hash-%d", i))
+				if !ok {
+					t.Fatal("Pick failed on a populated ring")
+				}
+				counts[home]++
+			}
+			if len(counts) != n {
+				t.Fatalf("only %d of %d backends received keys", len(counts), n)
+			}
+			mean := float64(keys) / float64(n)
+			for b, c := range counts {
+				share := float64(c) / mean
+				if share < 0.5 || share > 1.6 {
+					t.Errorf("backend %s holds %.2fx the fair share (%d keys)", b, share, c)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemapOnMembershipChange pins the consistent-hashing core
+// property: removing one backend from the configured set only remaps the
+// keys that lived on it, and adding it back restores the original
+// assignment exactly.
+func TestRingMinimalRemapOnMembershipChange(t *testing.T) {
+	const keys = 2000
+	full := NewRing(backendNames(5))
+	removed := "10.0.0.3:8090"
+	var rest []string
+	for _, b := range backendNames(5) {
+		if b != removed {
+			rest = append(rest, b)
+		}
+	}
+	smaller := NewRing(rest)
+	restored := NewRing(backendNames(5))
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("request-hash-%d", i)
+		before, _ := full.Pick(key)
+		after, _ := smaller.Pick(key)
+		if before == removed {
+			moved++
+			if after == removed {
+				t.Fatalf("key %q still assigned to removed backend", key)
+			}
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %q moved %s -> %s though its home stayed in the set", key, before, after)
+		}
+		back, _ := restored.Pick(key)
+		if back != before {
+			t.Fatalf("key %q did not return home after reinstatement: %s vs %s", key, back, before)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was assigned to the removed backend; test is vacuous")
+	}
+}
+
+// TestRingEjectionRemapViaOrder pins the runtime flavour of minimal remap:
+// ejection does not rebuild the ring — the picker skips the dead member in
+// Order — so keys homed on live backends never move, and reinstatement is
+// a pure no-op for them.
+func TestRingEjectionRemapViaOrder(t *testing.T) {
+	ring := NewRing(backendNames(5))
+	ejected := "10.0.0.2:8090"
+	firstAlive := func(key string) string {
+		for _, b := range ring.Order(key) {
+			if b != ejected {
+				return b
+			}
+		}
+		t.Fatalf("no alive backend for %q", key)
+		return ""
+	}
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("request-hash-%d", i)
+		home, _ := ring.Pick(key)
+		routed := firstAlive(key)
+		if home != ejected {
+			if routed != home {
+				t.Fatalf("key %q rerouted %s -> %s though its home is alive", key, home, routed)
+			}
+			continue
+		}
+		moved++
+		if routed == ejected {
+			t.Fatalf("key %q routed to the ejected backend", key)
+		}
+		// The overflow must land on the key's ring successor, preserving a
+		// stable (and therefore cacheable) secondary home.
+		if want := ring.Order(key)[1]; routed != want {
+			t.Fatalf("key %q overflowed to %s, want ring successor %s", key, routed, want)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was homed on the ejected backend; test is vacuous")
+	}
+}
+
+// TestRingGoldenMapping pins the cell→backend assignment: routing is part
+// of the cluster's cache-locality contract (a new gateway build that
+// silently remaps keys would cold-start every backend cache), so any
+// intentional change to the hash or walk must update these constants
+// consciously.
+func TestRingGoldenMapping(t *testing.T) {
+	ring := NewRing([]string{"a:1", "b:1", "c:1"})
+	golden := map[string]string{
+		"table2/seed=7":    "a:1",
+		"table3/seed=7":    "c:1",
+		"kaslr/seed=1":     "c:1",
+		"fig1b/seed=7":     "a:1",
+		"noise/seed=7":     "a:1",
+		"throughput/16":    "a:1",
+		"attacks/meltdown": "b:1",
+		"leak/seed=1":      "a:1",
+	}
+	for key, want := range golden {
+		got, ok := ring.Pick(key)
+		if !ok {
+			t.Fatalf("Pick(%q) failed", key)
+		}
+		if got != want {
+			t.Errorf("Pick(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// TestRingDegenerateInputs checks construction is total on hostile input.
+func TestRingDegenerateInputs(t *testing.T) {
+	empty := NewRing(nil)
+	if got := empty.Order("anything"); got != nil {
+		t.Fatalf("empty ring Order = %q", got)
+	}
+	if _, ok := empty.Pick("anything"); ok {
+		t.Fatal("empty ring picked a backend")
+	}
+	dedup := NewRing([]string{"x:1", "", "x:1", "y:1", ""})
+	if dedup.Len() != 2 {
+		t.Fatalf("dedup ring has %d members, want 2", dedup.Len())
+	}
+	solo := NewRing([]string{"only:1"})
+	if home, ok := solo.Pick("k"); !ok || home != "only:1" {
+		t.Fatalf("solo ring Pick = %q, %v", home, ok)
+	}
+}

@@ -47,3 +47,8 @@ func FuzzPipelineInvariants(f *testing.F) { fuzzTarget(f, "FuzzPipelineInvariant
 // is an idempotent fixpoint, Hash is stable, and distinct canonical requests
 // never collide.
 func FuzzServerCanonicalization(f *testing.F) { fuzzTarget(f, "FuzzServerCanonicalization") }
+
+// FuzzRingAssignment feeds arbitrary backend sets and request keys into the
+// cluster's consistent-hash ring, asserting total, panic-free, in-range,
+// deterministic assignment and the minimal-remap property.
+func FuzzRingAssignment(f *testing.F) { fuzzTarget(f, "FuzzRingAssignment") }

@@ -62,6 +62,13 @@ func Targets() []Target {
 			Check:    CheckServerCanonicalization,
 			Sig:      canonSignature,
 		},
+		{
+			Name:     "ring",
+			FuzzName: "FuzzRingAssignment",
+			Doc:      "cluster consistent-hash ring: total, in-range, deterministic assignment; minimal remap",
+			Check:    CheckRingAssignment,
+			Sig:      ringSignature,
+		},
 	}
 }
 

@@ -14,12 +14,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"whisper/internal/obs"
@@ -27,10 +29,17 @@ import (
 	"whisper/internal/server"
 )
 
-// Client talks to one whisperd instance.
+// Client talks to one serving endpoint — a whisperd daemon or a
+// whispergate gateway (same protocol) — with optional fallback endpoints
+// it fails over to on connection errors.
 type Client struct {
-	// Base is the daemon's root URL, e.g. "http://127.0.0.1:8090".
+	// Base is the primary endpoint's root URL, e.g. "http://127.0.0.1:8090".
 	Base string
+	// Fallbacks are additional endpoints tried, in order, when the current
+	// endpoint is unreachable (connection error — never on an HTTP error,
+	// which is the endpoint answering). The client sticks to the last
+	// endpoint that worked.
+	Fallbacks []string
 	// HTTP is the transport; nil uses a client with no overall timeout
 	// (per-call deadlines come from the caller's context).
 	HTTP *http.Client
@@ -40,17 +49,42 @@ type Client struct {
 	// carried on the call's context (logging.From), which defaults to
 	// discard.
 	Log *slog.Logger
+
+	// cur is the index (into endpoints()) of the last endpoint that
+	// answered, so failover is sticky instead of re-probing dead primaries
+	// on every call.
+	cur atomic.Int32
 }
 
 // DefaultMaxRetries is the 429-retry budget when none is configured.
 const DefaultMaxRetries = 5
 
-// New returns a client for the daemon at base ("host:port" or a full URL).
+// New returns a client for the endpoint(s) at base: one "host:port" or
+// full URL, or a comma-separated list of them — the first is primary, the
+// rest are failover targets (so `whisper -remote gate1,gate2` survives a
+// gateway going down).
 func New(base string) *Client {
-	if !strings.Contains(base, "://") {
+	parts := strings.Split(base, ",")
+	c := &Client{Base: canonBase(parts[0])}
+	for _, p := range parts[1:] {
+		if p = canonBase(p); p != "" {
+			c.Fallbacks = append(c.Fallbacks, p)
+		}
+	}
+	return c
+}
+
+func canonBase(base string) string {
+	base = strings.TrimSpace(base)
+	if base != "" && !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{Base: strings.TrimRight(base, "/")}
+	return strings.TrimRight(base, "/")
+}
+
+// endpoints returns every configured endpoint, primary first.
+func (c *Client) endpoints() []string {
+	return append([]string{c.Base}, c.Fallbacks...)
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -85,10 +119,57 @@ func (e *Error) Error() string {
 	return msg
 }
 
+// ErrBusy marks exhausted backpressure: the server kept answering 429 past
+// the retry budget, or the context deadline cannot cover the advertised
+// Retry-After wait. Callers match it with errors.Is(err, client.ErrBusy)
+// and decide whether to surface, queue, or shed.
+var ErrBusy = errors.New("client: server busy")
+
+// BusyError is the concrete error behind ErrBusy. It carries the
+// server-assigned request ID of the last 429 so an operator can find the
+// rejection in the daemon's access log, and wraps the underlying *Error.
+type BusyError struct {
+	// RequestID is the X-Whisper-Request-Id of the final 429 exchange.
+	RequestID string
+	// Attempts is how many times the request was sent before giving up.
+	Attempts int
+	last     error // the final 429 *Error (or nil when the deadline cut in)
+}
+
+func (e *BusyError) Error() string {
+	msg := fmt.Sprintf("client: server busy after %d attempts", e.Attempts)
+	if e.RequestID != "" {
+		msg += " (request " + e.RequestID + ")"
+	}
+	if e.last != nil {
+		msg += ": " + e.last.Error()
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, ErrBusy) match.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// Unwrap exposes the final 429 reply.
+func (e *BusyError) Unwrap() error { return e.last }
+
+// busyError builds the BusyError for the final 429, lifting the server
+// request ID out of the wrapped *Error.
+func busyError(attempts int, last error) *BusyError {
+	be := &BusyError{Attempts: attempts, last: last}
+	var se *Error
+	if errors.As(last, &se) {
+		be.RequestID = se.RequestID
+	}
+	return be
+}
+
 // Run executes req on the daemon and returns the decoded envelope, the raw
 // canonical body bytes, and the cache path ("miss", "hit", "coalesced") the
 // daemon reported. 429 responses are retried with the server's Retry-After
-// until the context or the retry budget runs out.
+// until the retry budget — or the part of the context deadline the waits
+// would overrun — is exhausted, which surfaces as ErrBusy. Connection
+// errors fail over to the next configured endpoint.
 func (c *Client) Run(ctx context.Context, req server.Request) (*server.Result, []byte, string, error) {
 	payload, err := json.Marshal(req)
 	if err != nil {
@@ -112,12 +193,31 @@ func (c *Client) Run(ctx context.Context, req server.Request) (*server.Result, [
 			}
 			return &res, body, cachePath, nil
 		}
-		if retryAfter < 0 || attempt >= retries {
+		if retryAfter < 0 {
 			log.LogAttrs(ctx, slog.LevelWarn, "daemon request failed",
 				slog.String(obs.RequestIDAttr, reqID),
 				slog.Int("attempts", attempt+1),
 				slog.String("error", err.Error()))
 			return nil, nil, "", err
+		}
+		if attempt >= retries {
+			busy := busyError(attempt+1, err)
+			log.LogAttrs(ctx, slog.LevelWarn, "retry budget exhausted",
+				slog.String(obs.RequestIDAttr, reqID),
+				slog.Int("attempts", attempt+1),
+				slog.String("error", busy.Error()))
+			return nil, nil, "", busy
+		}
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < retryAfter {
+			// The advertised wait overruns the caller's deadline: waiting
+			// would only convert the busy signal into a timeout. Give the
+			// caller the honest one now.
+			busy := busyError(attempt+1, err)
+			log.LogAttrs(ctx, slog.LevelWarn, "retry-after exceeds deadline, giving up",
+				slog.String(obs.RequestIDAttr, reqID),
+				slog.Duration("retry_after", retryAfter),
+				slog.Duration("deadline_in", time.Until(deadline)))
+			return nil, nil, "", busy
 		}
 		log.LogAttrs(ctx, slog.LevelInfo, "daemon busy, backing off",
 			slog.String(obs.RequestIDAttr, reqID),
@@ -132,18 +232,21 @@ func (c *Client) Run(ctx context.Context, req server.Request) (*server.Result, [
 	}
 }
 
-// post does one POST /v1/run round trip. retryAfter >= 0 marks a retryable
-// 429 and carries the server's requested delay.
+// post does one POST /v1/run round trip against the current endpoint,
+// failing over across endpoints() on connection errors. retryAfter >= 0
+// marks a retryable 429 and carries the server's requested delay.
 func (c *Client) post(ctx context.Context, payload []byte, reqID string) (body []byte, cachePath string, retryAfter time.Duration, err error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/run", bytes.NewReader(payload))
-	if err != nil {
-		return nil, "", -1, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	if reqID != "" {
-		hreq.Header.Set(server.RequestIDHeader, reqID)
-	}
-	resp, err := c.httpClient().Do(hreq)
+	resp, err := c.roundTrip(ctx, func(base string) (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/run", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			hreq.Header.Set(server.RequestIDHeader, reqID)
+		}
+		return hreq, nil
+	})
 	if err != nil {
 		return nil, "", -1, err
 	}
@@ -164,6 +267,43 @@ func (c *Client) post(ctx context.Context, payload []byte, reqID string) (body [
 	default:
 		return nil, "", -1, decodeError(resp, body)
 	}
+}
+
+// roundTrip sends one request, starting at the sticky current endpoint and
+// advancing through the remaining ones on connection errors. An HTTP
+// response — any status — is the endpoint answering and ends the failover;
+// only transport failures move on. The endpoint that answers becomes the
+// new sticky choice.
+func (c *Client) roundTrip(ctx context.Context, build func(base string) (*http.Request, error)) (*http.Response, error) {
+	eps := c.endpoints()
+	start := int(c.cur.Load())
+	if start >= len(eps) {
+		start = 0
+	}
+	var lastErr error
+	for i := 0; i < len(eps); i++ {
+		idx := (start + i) % len(eps)
+		hreq, err := build(eps[idx])
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.httpClient().Do(hreq)
+		if err == nil {
+			c.cur.Store(int32(idx))
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+		if i+1 < len(eps) {
+			c.logger(ctx).LogAttrs(ctx, slog.LevelWarn, "endpoint unreachable, failing over",
+				slog.String("endpoint", eps[idx]),
+				slog.String("next", eps[(idx+1)%len(eps)]),
+				slog.String("error", err.Error()))
+		}
+	}
+	return nil, lastErr
 }
 
 // decodeError builds an *Error from a non-200 reply, preferring the JSON
@@ -204,12 +344,14 @@ func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
-	if err != nil {
-		return err
-	}
-	hreq.Header.Set("Accept", "application/json")
-	resp, err := c.httpClient().Do(hreq)
+	resp, err := c.roundTrip(ctx, func(base string) (*http.Request, error) {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Accept", "application/json")
+		return hreq, nil
+	})
 	if err != nil {
 		return err
 	}

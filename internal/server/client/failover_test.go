@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whisper/internal/server"
+)
+
+// busyServer always answers 429 with a Retry-After and a server-assigned
+// request ID in the error envelope.
+func busyServer(t *testing.T, retryAfterSec string, reqID string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", retryAfterSec)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": "at capacity", "status": 429, "request_id": reqID,
+		})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunBusyBudgetExhaustedIsErrBusy checks a server that never stops
+// answering 429 surfaces as the typed busy error: errors.Is(err, ErrBusy)
+// matches, the BusyError carries the server's request ID, and the final 429
+// is reachable through Unwrap.
+func TestRunBusyBudgetExhaustedIsErrBusy(t *testing.T) {
+	ts := busyServer(t, "0", "busy-req-42")
+
+	c := New(ts.URL)
+	c.MaxRetries = 2
+	_, _, _, err := c.Run(context.Background(), server.Request{Experiment: "table2"})
+	if err == nil {
+		t.Fatal("Run succeeded against a permanently busy server")
+	}
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("errors.Is(err, ErrBusy) = false for %v", err)
+	}
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("error is not a *BusyError: %T", err)
+	}
+	if busy.RequestID != "busy-req-42" {
+		t.Fatalf("BusyError.RequestID = %q, want the server-assigned ID", busy.RequestID)
+	}
+	if busy.Attempts != 3 {
+		t.Fatalf("BusyError.Attempts = %d, want 3 (initial + 2 retries)", busy.Attempts)
+	}
+	var se *Error
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("BusyError does not unwrap to the final 429 *Error: %v", err)
+	}
+}
+
+// TestRunRetryAfterBeyondDeadlineFailsFast checks the deadline cap: when
+// the advertised Retry-After cannot fit inside the context deadline, Run
+// returns ErrBusy immediately instead of sleeping into a timeout.
+func TestRunRetryAfterBeyondDeadlineFailsFast(t *testing.T) {
+	ts := busyServer(t, "30", "busy-req-7")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, _, _, err := New(ts.URL).Run(ctx, server.Request{Experiment: "table2"})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Run took %v; it should give up without waiting out Retry-After", elapsed)
+	}
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("want ErrBusy when Retry-After exceeds the deadline, got %v", err)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("context expired; the client slept instead of failing fast")
+	}
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.RequestID != "busy-req-7" {
+		t.Fatalf("busy error lost the request ID: %v", err)
+	}
+}
+
+// TestRunFailsOverAcrossEndpoints checks the multi-endpoint contract: a
+// connection-refused primary fails over to the fallback, the choice is
+// sticky for later calls, and an HTTP error (any status) never triggers
+// failover — that endpoint answered.
+func TestRunFailsOverAcrossEndpoints(t *testing.T) {
+	var hits atomic.Int64
+	body := `{"hash":"abc","request":{"experiment":"table2"},"rendered":"ok"}`
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(body))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+
+	c := New(dead.URL + "," + live.URL)
+	if len(c.Fallbacks) != 1 {
+		t.Fatalf("Fallbacks = %v, want the second endpoint", c.Fallbacks)
+	}
+	res, _, _, err := c.Run(context.Background(), server.Request{Experiment: "table2"})
+	if err != nil {
+		t.Fatalf("Run did not fail over: %v", err)
+	}
+	if res.Hash != "abc" || hits.Load() != 1 {
+		t.Fatalf("fallback served hash %q after %d hits", res.Hash, hits.Load())
+	}
+
+	// Sticky: the next call goes straight to the endpoint that answered.
+	if _, _, _, err := c.Run(context.Background(), server.Request{Experiment: "table2"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.cur.Load() != 1 {
+		t.Fatalf("client did not stick to the working endpoint (cur = %d)", c.cur.Load())
+	}
+
+	// An HTTP error from the sticky endpoint is final — no silent hop back.
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	c2 := New(failing.URL + "," + live.URL)
+	before := hits.Load()
+	_, _, _, err = c2.Run(context.Background(), server.Request{Experiment: "table2"})
+	var se *Error
+	if !errors.As(err, &se) || se.Status != http.StatusInternalServerError {
+		t.Fatalf("want the primary's 500 surfaced, got %v", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("client failed over on an HTTP error; only connection errors may move endpoints")
+	}
+}
+
+// TestNewSplitsEndpointList checks comma-separated endpoint parsing and
+// normalization.
+func TestNewSplitsEndpointList(t *testing.T) {
+	c := New("gate1:8089, 127.0.0.1:8090/,,http://gate3:8089")
+	if c.Base != "http://gate1:8089" {
+		t.Fatalf("Base = %q", c.Base)
+	}
+	want := []string{"http://127.0.0.1:8090", "http://gate3:8089"}
+	if len(c.Fallbacks) != len(want) {
+		t.Fatalf("Fallbacks = %v, want %v", c.Fallbacks, want)
+	}
+	for i := range want {
+		if c.Fallbacks[i] != want[i] {
+			t.Fatalf("Fallbacks[%d] = %q, want %q", i, c.Fallbacks[i], want[i])
+		}
+	}
+	if got := strings.Join(c.endpoints(), " "); got != "http://gate1:8089 http://127.0.0.1:8090 http://gate3:8089" {
+		t.Fatalf("endpoints() = %q", got)
+	}
+}

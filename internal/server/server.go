@@ -133,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/run", s.handleRun)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/traces", s.handleTraces)
 	return s.withRequestScope(mux)
@@ -434,6 +435,51 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// Readiness is the /readyz document: health plus enough admission detail
+// for a load balancer to act early. A gateway stops routing to a backend
+// whose readiness reports draining before the backend starts answering
+// 503, and can weigh queue depth into placement decisions.
+type Readiness struct {
+	Status        string `json:"status"` // "ok" | "draining"
+	Draining      bool   `json:"draining"`
+	QueueInflight int    `json:"queue_inflight"`
+	QueueWaiting  int    `json:"queue_waiting"`
+	MaxInflight   int    `json:"max_inflight"`
+	MaxQueue      int    `json:"max_queue"`
+}
+
+// Ready reports the server's current readiness document.
+func (s *Server) Ready() Readiness {
+	inflight, waiting := s.queue.depth()
+	ready := Readiness{
+		Status:        "ok",
+		Draining:      s.Draining(),
+		QueueInflight: inflight,
+		QueueWaiting:  waiting,
+		MaxInflight:   s.cfg.MaxInflight,
+		MaxQueue:      s.cfg.MaxQueue,
+	}
+	if ready.Draining {
+		ready.Status = "draining"
+	}
+	return ready
+}
+
+// handleReady is GET /readyz: the JSON readiness document, 200 while
+// serving and 503 (same body) once draining — unlike /healthz's bare
+// "ok"/error split, the body is identical either way so probers read one
+// shape.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready := s.Ready()
+	status := http.StatusOK
+	if ready.Draining {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ready)
+}
+
 // Metrics exposition formats /metrics negotiates between.
 const (
 	metricsText = "text" // the aligned text table (default)
@@ -475,13 +521,23 @@ func negotiateMetricsFormat(r *http.Request) (string, error) {
 // Content-Type (the CLIs' -metrics-out flag writes the same three renderings
 // by file suffix).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	publishPoolGauges(s.reg)
+	if err := ServeMetricsSnapshot(w, r, s.reg); err != nil {
+		writeError(w, r, http.StatusBadRequest, err.Error())
+	}
+}
+
+// ServeMetricsSnapshot writes reg's snapshot in the format negotiated from
+// r (?format= then Accept) with an explicit Content-Type. A returned error
+// is a negotiation error the caller should map to 400; nothing has been
+// written in that case. Shared by whisperd's and whispergate's /metrics so
+// both ends of a cluster expose the same three renderings.
+func ServeMetricsSnapshot(w http.ResponseWriter, r *http.Request, reg *obs.Registry) error {
 	format, err := negotiateMetricsFormat(r)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err.Error())
-		return
+		return err
 	}
-	publishPoolGauges(s.reg)
-	snap := s.reg.Snapshot()
+	snap := reg.Snapshot()
 	switch format {
 	case metricsJSON:
 		w.Header().Set("Content-Type", "application/json")
@@ -493,6 +549,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		snap.WriteText(w)
 	}
+	return nil
 }
 
 // handleTraces serves the Perfetto/Chrome trace of everything the registry
