@@ -23,6 +23,7 @@ import (
 	"whisper/internal/obs"
 	"whisper/internal/obs/logging"
 	"whisper/internal/smt"
+	"whisper/internal/snapshot"
 	"whisper/internal/stats"
 )
 
@@ -729,6 +730,51 @@ func BenchmarkRunAllParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSnapshotFork prices the snapshot layer's fork-per-cell path
+// against the reboot-per-cell baseline it replaces: restoring a warm kernel
+// checkpoint into a pooled machine (the steady-state path behind
+// experiments' boot memo) versus re-booting the kernel on the same machine.
+// The Fork/Reboot ratio is the per-cell saving the EXPERIMENTS.md snapshot
+// table aggregates over whole sweeps.
+func BenchmarkSnapshotFork(b *testing.B) {
+	model, cfg := cpu.I7_7700(), kernel.Config{KASLR: true}
+	b.Run("Fork", func(b *testing.B) {
+		k := bootBench(b, model, cfg, 16)
+		snap, err := snapshot.CaptureKernel(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := cpu.NewPool()
+		fk, err := snap.ForkKernel(pool) // warm the pooled target
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(fk.Machine())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fk, err := snap.ForkKernel(pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(fk.Machine())
+		}
+	})
+	b.Run("Reboot", func(b *testing.B) {
+		m, err := cpu.NewMachine(model, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := kernel.Reboot(m, cfg, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkNoiseSweep measures attack robustness vs timer jitter (the

@@ -146,3 +146,19 @@ func (b *BPU) FlushRSB() {
 func (b *BPU) Stats() (condLookups, condMispreds, retPredicts, rsbUnderflows uint64) {
 	return b.condLookups, b.condMispreds, b.retPredicts, b.rsbUnderflows
 }
+
+// CopyFrom makes b's predictor tables, RSB, and statistics identical to src.
+// Both BPUs must share geometry (same model configuration); no allocations.
+func (b *BPU) CopyFrom(src *BPU) {
+	if len(b.pht) != len(src.pht) || len(b.btb) != len(src.btb) || len(b.rsb) != len(src.rsb) {
+		panic("bpu: CopyFrom geometry mismatch")
+	}
+	copy(b.pht, src.pht)
+	copy(b.btb, src.btb)
+	copy(b.rsb, src.rsb)
+	b.top = src.top
+	b.condLookups = src.condLookups
+	b.condMispreds = src.condMispreds
+	b.retPredicts = src.retPredicts
+	b.rsbUnderflows = src.rsbUnderflows
+}

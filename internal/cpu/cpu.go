@@ -164,6 +164,15 @@ type Machine struct {
 	Alloc *paging.FrameAllocator
 	Rand  *rand.Rand
 
+	// randSrc is the counting source behind Rand; it makes the RNG cursor
+	// capturable and replayable for snapshot forks (see state.go).
+	randSrc *countingSource
+
+	// asSlots are preallocated address-space structs rebound over the
+	// machine's own memory during snapshot restore, so a Fork never
+	// allocates page-table walkers. See BindAddressSpace.
+	asSlots [2]paging.AddressSpace
+
 	// Obs is the optional observability registry. It is nil by default, and
 	// every instrumented call site (probes, sweeps, kernel boot) no-ops on
 	// the nil registry, keeping the measurement path allocation-free; enable
@@ -178,6 +187,7 @@ func NewMachine(m Model, seed int64) (*Machine, error) {
 	phys := mem.NewPhysical()
 	alloc := paging.NewFrameAllocator(0x100000)
 	as := paging.NewAddressSpace(phys, alloc)
+	src := newCountingSource(seed)
 	mc := &Machine{
 		Model: m,
 		Phys:  phys,
@@ -188,8 +198,9 @@ func NewMachine(m Model, seed int64) (*Machine, error) {
 		BPU:   bpu.New(m.BPU),
 		PMU:   pmu.New(),
 		Alloc: alloc,
-		Rand:  rand.New(rand.NewSource(seed)),
+		Rand:  rand.New(src),
 	}
+	mc.randSrc = src
 	p, err := pipeline.New(m.Pipe, pipeline.Resources{
 		Hier: mc.Hier,
 		LFB:  mc.LFB,
@@ -204,6 +215,28 @@ func NewMachine(m Model, seed int64) (*Machine, error) {
 		return nil, fmt.Errorf("cpu: %w", err)
 	}
 	mc.Pipe = p
+	return mc, nil
+}
+
+// NewFrozenMachine builds the minimal machine snapshot capture freezes state
+// into: structurally identical to NewMachine(m, 0) except the cache
+// hierarchy, which is a one-set-per-level placeholder. Frozen replicas are
+// never executed and their hierarchy is never read — snapshots record the
+// real hierarchy as a compact valid-line image — so allocating and zeroing
+// megabytes of LLC line metadata per capture would be pure waste. The
+// returned machine reports the real Model; only its hierarchy storage is
+// reduced, which is why it must never enter a Pool.
+func NewFrozenMachine(m Model) (*Machine, error) {
+	fm := m
+	fm.Hier.L1DSize = fm.Hier.L1DWays * mem.LineSize
+	fm.Hier.L1ISize = fm.Hier.L1IWays * mem.LineSize
+	fm.Hier.L2Size = fm.Hier.L2Ways * mem.LineSize
+	fm.Hier.L3Size = fm.Hier.L3Ways * mem.LineSize
+	mc, err := NewMachine(fm, 0)
+	if err != nil {
+		return nil, err
+	}
+	mc.Model = m
 	return mc, nil
 }
 

@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whisper/internal/mem"
+	"whisper/internal/paging"
+)
+
+// countingSource wraps the standard PRNG source and counts draws, making the
+// RNG's position a first-class piece of machine state: a snapshot records
+// (seed, draws) and a fork replays exactly that many steps. Both Int63 and
+// Uint64 advance the underlying generator by exactly one step, so the draw
+// count alone pins the stream position regardless of which Rand method
+// consumed it.
+type countingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.seed = seed
+	c.draws = 0
+}
+
+// RandCursor returns the RNG's position: the seed it was last seeded with and
+// the number of draws consumed since.
+func (mc *Machine) RandCursor() (seed int64, draws uint64) {
+	return mc.randSrc.seed, mc.randSrc.draws
+}
+
+// SeekRand re-seeds the RNG and replays draws steps, leaving the generator in
+// exactly the state RandCursor() = (seed, draws) describes.
+func (mc *Machine) SeekRand(seed int64, draws uint64) {
+	mc.Rand.Seed(seed) // resets the counting source and Rand's byte cache
+	for i := uint64(0); i < draws; i++ {
+		mc.randSrc.Uint64()
+	}
+}
+
+// BindAddressSpace rebinds one of the machine's preallocated address-space
+// slots (slot 0 or 1) over the machine's own memory at the given page-table
+// root and returns it. Snapshot forks use it to reconstruct the kernel and
+// user views without allocating.
+func (mc *Machine) BindAddressSpace(slot int, root uint64) *paging.AddressSpace {
+	as := &mc.asSlots[slot]
+	as.Rebind(mc.Phys, mc.Alloc, root)
+	return as
+}
+
+// CopyStateFrom makes mc's simulation-visible state identical to src's; the
+// models must match and src must be quiescent (between Execs). Every
+// structure is copied into mc's existing backing storage, so once mc's
+// physical-page freelist covers src's working set the copy performs no
+// allocations. The pipeline's address space is NOT rebound — the caller binds
+// one of mc's slots (BindAddressSpace) to the wanted root afterwards, since
+// the walker must read mc's page copies, not src's.
+func (mc *Machine) CopyStateFrom(src *Machine) error {
+	return mc.copyState(src, false, nil, false)
+}
+
+// CaptureStateFrom is CopyStateFrom minus the cache hierarchy — the variant
+// behind snapshot capture. The hierarchy is recorded separately as a compact
+// valid-line image (mem.Hierarchy.Image), so the frozen replica's own
+// hierarchy — a placeholder on NewFrozenMachine targets — is never written
+// or read.
+func (mc *Machine) CaptureStateFrom(src *Machine) error {
+	return mc.copyState(src, false, nil, true)
+}
+
+// ForkStateFrom is CopyStateFrom tuned for restoring from an immutable
+// source many times: the physical image is aliased copy-on-write instead of
+// copied (mc reads src's frames until it writes them), and the cache
+// hierarchy is replayed from img, a precomputed valid-line image of src.Hier,
+// in O(valid lines) instead of rescanning every line's metadata. src must
+// stay immutable while mc is alive — snapshot forks guarantee this by only
+// ever aliasing the frozen replica, which is never executed. A nil img falls
+// back to the full hierarchy copy.
+func (mc *Machine) ForkStateFrom(src *Machine, img *mem.HierImage) error {
+	return mc.copyState(src, true, img, false)
+}
+
+func (mc *Machine) copyState(src *Machine, alias bool, img *mem.HierImage, skipHier bool) error {
+	if mc.Model != src.Model {
+		return fmt.Errorf("cpu: CopyStateFrom across models: %s <- %s",
+			mc.Model.Name, src.Model.Name)
+	}
+	if alias {
+		mc.Phys.AliasBase(src.Phys)
+	} else {
+		mc.Phys.CopyFrom(src.Phys)
+	}
+	mc.Alloc.CopyFrom(src.Alloc)
+	switch {
+	case skipHier:
+		// Capture target: the hierarchy travels as a separate image.
+	case img != nil:
+		mc.Hier.LoadImage(img)
+	default:
+		mc.Hier.CopyFrom(src.Hier)
+	}
+	mc.LFB.CopyFrom(src.LFB)
+	mc.DTLB.CopyFrom(src.DTLB)
+	mc.ITLB.CopyFrom(src.ITLB)
+	mc.BPU.CopyFrom(src.BPU)
+	mc.PMU.CopyFrom(src.PMU)
+	seed, draws := src.RandCursor()
+	mc.SeekRand(seed, draws)
+	mc.Pipe.CopyStateFrom(src.Pipe)
+	mc.Obs = nil
+	return nil
+}
+
+// GetRaw returns a parked machine for the model without resetting it, or nil
+// when none is parked. Snapshot forks use it: CopyStateFrom overwrites every
+// piece of state a Reset would clear, so resetting first would be pure waste.
+// A non-nil return counts as a reuse in Stats.
+func (p *Pool) GetRaw(model Model) *Machine {
+	p.mu.Lock()
+	list := p.free[model]
+	var mc *Machine
+	if n := len(list) - 1; n >= 0 {
+		mc = list[n]
+		p.free[model] = list[:n]
+	}
+	p.mu.Unlock()
+	if mc != nil {
+		p.gets.Add(1)
+		p.reuses.Add(1)
+	}
+	return mc
+}

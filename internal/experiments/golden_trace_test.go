@@ -34,7 +34,7 @@ func clearTrace(b *strings.Builder, m *cpu.Machine) {
 func goldenFig1bCell() (string, error) {
 	var b strings.Builder
 	seed := sched.DeriveSeed(DefaultSeed, "batch/0")
-	k, err := boot(cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
+	k, err := boot("golden", cpu.I7_7700(), kernel.Config{KASLR: true}, seed)
 	if err != nil {
 		return "", err
 	}
@@ -78,7 +78,7 @@ func goldenFig1bCell() (string, error) {
 func goldenKASLRProbes() (string, error) {
 	var b strings.Builder
 	seed := sched.DeriveSeed(DefaultSeed, "kaslr/golden")
-	k, err := boot(cpu.I9_10980XE(), kernel.Config{KASLR: true}, seed)
+	k, err := boot("golden", cpu.I9_10980XE(), kernel.Config{KASLR: true}, seed)
 	if err != nil {
 		return "", err
 	}
@@ -146,6 +146,39 @@ func TestGoldenTraces(t *testing.T) {
 	}
 	if kaslr != goldenKASLR {
 		t.Errorf("KASLR probe trace diverged from the seed capture:\n--- got ---\n%s--- want ---\n%s", kaslr, goldenKASLR)
+	}
+}
+
+// TestGoldenTracesUnderSnapshotFork pins the same cycle-exact traces —
+// warmup-end-cycle included — when the cell's machine comes from a snapshot
+// fork instead of a boot. The forked-enabled passes walk the memo's whole
+// state machine (first miss unseen, second miss capturing, third forking,
+// unless earlier tests advanced it already); the reboot-per-cell pass with
+// forking disabled must match too. Every pass must equal the seed capture,
+// which is what makes memo hit/miss history unobservable in results.
+func TestGoldenTracesUnderSnapshotFork(t *testing.T) {
+	defer SetSnapshotForking(SnapshotForking())
+	for pass, on := range []bool{true, true, true, false} {
+		SetSnapshotForking(on)
+		fig1b, err := goldenFig1bCell()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fig1b != goldenFig1b {
+			t.Errorf("pass %d (forking=%v): Fig1b trace diverged:\n--- got ---\n%s--- want ---\n%s",
+				pass, on, fig1b, goldenFig1b)
+		}
+		kaslr, err := goldenKASLRProbes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kaslr != goldenKASLR {
+			t.Errorf("pass %d (forking=%v): KASLR trace diverged:\n--- got ---\n%s--- want ---\n%s",
+				pass, on, kaslr, goldenKASLR)
+		}
+	}
+	if st := SnapshotMemoStats(); st.Hits == 0 {
+		t.Error("snapshot memo never hit across the forked passes")
 	}
 }
 

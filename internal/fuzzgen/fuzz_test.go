@@ -48,6 +48,12 @@ func FuzzPipelineInvariants(f *testing.F) { fuzzTarget(f, "FuzzPipelineInvariant
 // never collide.
 func FuzzServerCanonicalization(f *testing.F) { fuzzTarget(f, "FuzzServerCanonicalization") }
 
+// FuzzSnapshotRestore captures machines and booted kernels mid-workload and
+// replays the identical remainder on the capture source and on forks (fresh
+// and dirty-pooled), asserting cycle counts, registers, PMU bank, RNG cursor,
+// and physical memory are bit-identical.
+func FuzzSnapshotRestore(f *testing.F) { fuzzTarget(f, "FuzzSnapshotRestore") }
+
 // FuzzRingAssignment feeds arbitrary backend sets and request keys into the
 // cluster's consistent-hash ring, asserting total, panic-free, in-range,
 // deterministic assignment and the minimal-remap property.

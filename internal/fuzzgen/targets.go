@@ -15,6 +15,7 @@ import (
 	"whisper/internal/kernel"
 	"whisper/internal/pipeline"
 	"whisper/internal/server"
+	"whisper/internal/snapshot"
 )
 
 // Execution budgets. Generated programs run a few hundred dynamic
@@ -61,6 +62,13 @@ func Targets() []Target {
 			Doc:      "server request canonicalization: normalize idempotence, hash stability, no collisions",
 			Check:    CheckServerCanonicalization,
 			Sig:      canonSignature,
+		},
+		{
+			Name:     "snapshot",
+			FuzzName: "FuzzSnapshotRestore",
+			Doc:      "snapshot capture/fork bit-identity: forks replay the remainder exactly as the capture source",
+			Check:    CheckSnapshotRestore,
+			Sig:      Signature,
 		},
 		{
 			Name:     "ring",
@@ -272,6 +280,205 @@ func checkInvariantsKernelProbe(data []byte) error {
 	}
 	m.Reset(1)
 	return inv.Err()
+}
+
+// snapDigest folds everything observable about a machine into one comparable
+// string: the cycle count, the compared architectural registers, the PMU
+// bank, the RNG cursor, and a digest of all of physical memory. Machines with
+// equal digests after the same workload executed bit-identically.
+func snapDigest(m *cpu.Machine) string {
+	regs := make([]uint64, 0, 8)
+	for _, r := range CompareRegs() {
+		regs = append(regs, m.Pipe.Reg(r))
+	}
+	seed, draws := m.RandCursor()
+	return fmt.Sprintf("c=%d regs=%x pmu=%v rng=%d/%d phys=%016x",
+		m.Pipe.Cycle(), regs, m.PMU.Snapshot(), seed, draws,
+		m.Phys.DigestFNV(14695981039346656037))
+}
+
+// CheckSnapshotRestore pins the snapshot layer's bit-identity contract on
+// generated workloads: capture a machine mid-stream, then run the identical
+// remainder on the capture source and on two forks (one into a fresh machine,
+// one into a dirty pooled machine). Cycle counts, registers, the PMU bank,
+// the RNG cursor, and physical memory must all match exactly. The first input
+// bit picks the harness: a generated program across Machine-level Capture, or
+// a booted kernel with a probe campaign across CaptureKernel/ForkKernel.
+func CheckSnapshotRestore(data []byte) error {
+	s := &src{data: data}
+	mode := s.intn(2)
+	rest := data[min(s.pos, len(data)):]
+	if mode == 0 {
+		return checkSnapshotProgram(rest)
+	}
+	return checkSnapshotKernel(rest)
+}
+
+// checkSnapshotProgram runs a generated program once to dirty the machine
+// (caches, predictors, PMU, cycle), captures, then reruns the program as the
+// "remainder" on source and forks, comparing full digests.
+func checkSnapshotProgram(data []byte) error {
+	spec := GenerateSpec(data)
+	m, err := cpu.NewMachine(Model(), 1)
+	if err != nil {
+		return err
+	}
+	if err := InstallEnv(m, spec.MemSeed); err != nil {
+		return err
+	}
+	m.Pipe.SetSignalHandler(spec.Handler)
+	if _, err := m.Pipe.Exec(spec.Prog, pipeBudget); err != nil {
+		return fmt.Errorf("snapshot warm-up: %w", err)
+	}
+	snap, err := snapshot.Capture(m)
+	if err != nil {
+		return err
+	}
+
+	rerun := func(mc *cpu.Machine, who string) (string, error) {
+		mc.Pipe.SetSignalHandler(spec.Handler)
+		if _, err := mc.Pipe.Exec(spec.Prog, pipeBudget); err != nil {
+			return "", fmt.Errorf("%s remainder: %w", who, err)
+		}
+		return snapDigest(mc), nil
+	}
+	want, err := rerun(m, "source")
+	if err != nil {
+		return err
+	}
+
+	pool := cpu.NewPool()
+	fork, err := snap.Fork(pool)
+	if err != nil {
+		return err
+	}
+	got, err := rerun(fork, "fork")
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("fork diverged from capture source:\n got %s\nwant %s", got, want)
+	}
+	pool.Put(fork)
+	fork2, err := snap.Fork(pool) // restores into the dirty recycled machine
+	if err != nil {
+		return err
+	}
+	got2, err := rerun(fork2, "pooled fork")
+	if err != nil {
+		return err
+	}
+	if got2 != want {
+		return fmt.Errorf("pooled fork diverged:\n got %s\nwant %s", got2, want)
+	}
+	return nil
+}
+
+// checkSnapshotKernel boots a kernel, warms it with syscall/TLB traffic,
+// captures with CaptureKernel, then runs an input-driven probe campaign on
+// the source and on two ForkKernel machines, comparing ToTE sequences and
+// full machine digests.
+func checkSnapshotKernel(data []byte) error {
+	s := &src{data: data}
+	cfg := kernel.Config{KASLR: true, KPTI: s.coin()}
+	seed := int64(1 + s.intn(16))
+	supp := core.SuppressTSX
+	if s.coin() {
+		supp = core.SuppressSignal
+	}
+	cmpLoaded := s.coin()
+	warm := 1 + s.intn(6)
+	type act struct {
+		kind       int
+		slot       int
+		test, cmp  uint64
+		evict, sys bool
+	}
+	acts := make([]act, 4+s.intn(12))
+	for i := range acts {
+		acts[i] = act{kind: s.intn(3), slot: s.intn(kernel.NumSlots),
+			test: uint64(s.byte()), cmp: uint64(s.byte()),
+			evict: s.intn(4) == 0, sys: s.intn(4) == 0}
+	}
+
+	m, err := cpu.NewMachine(Model(), seed)
+	if err != nil {
+		return err
+	}
+	k, err := kernel.Boot(m, cfg)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < warm; i++ { // warm prefix: kernel-only traffic
+		k.SyscallRoundTrip()
+		if i%2 == 0 {
+			k.EvictTLB()
+		}
+	}
+	snap, err := snapshot.CaptureKernel(k)
+	if err != nil {
+		return err
+	}
+
+	campaign := func(kk *kernel.Kernel, who string) (string, error) {
+		pr, err := core.NewProber(kk.Machine(), supp, cmpLoaded)
+		if err != nil {
+			return "", err
+		}
+		totes := make([]uint64, 0, len(acts))
+		for i, a := range acts {
+			var target uint64
+			switch a.kind {
+			case 0:
+				target = core.UnmappedVA
+			case 1:
+				target = kk.ProbeTarget(a.slot)
+			default:
+				target = kk.SecretVA()
+			}
+			tote, err := pr.Probe(target, a.test, a.cmp)
+			if err != nil {
+				return "", fmt.Errorf("%s probe %d: %w", who, i, err)
+			}
+			totes = append(totes, tote)
+			if a.evict {
+				kk.EvictTLB()
+			}
+			if a.sys {
+				kk.SyscallRoundTrip()
+			}
+		}
+		return fmt.Sprintf("totes=%v %s", totes, snapDigest(kk.Machine())), nil
+	}
+	want, err := campaign(k, "source")
+	if err != nil {
+		return err
+	}
+	pool := cpu.NewPool()
+	fk, err := snap.ForkKernel(pool)
+	if err != nil {
+		return err
+	}
+	got, err := campaign(fk, "fork")
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("kernel fork diverged from capture source:\n got %s\nwant %s", got, want)
+	}
+	pool.Put(fk.Machine())
+	fk2, err := snap.ForkKernel(pool)
+	if err != nil {
+		return err
+	}
+	got2, err := campaign(fk2, "pooled kernel fork")
+	if err != nil {
+		return err
+	}
+	if got2 != want {
+		return fmt.Errorf("pooled kernel fork diverged:\n got %s\nwant %s", got2, want)
+	}
+	return nil
 }
 
 // CheckServerCanonicalization derives two requests from the input and checks

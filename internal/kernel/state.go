@@ -1,0 +1,63 @@
+package kernel
+
+import "whisper/internal/cpu"
+
+// State is the restorable OS-level residue of a boot: everything a Kernel
+// carries beyond the machine itself. The page tables live in the machine's
+// physical memory, so the state only needs the two CR3 roots; the KASLR
+// slot, secret placement, and (possibly FGKASLR-shuffled) symbol table are
+// the boot's random decisions, captured so a restore replays none of them.
+type State struct {
+	Cfg       Config
+	KernRoot  uint64
+	UserRoot  uint64
+	BaseSlot  int
+	KASLRBase uint64
+	SecretVA  uint64
+	SecretPA  uint64
+	// Funcs is shared, not copied: it is immutable after boot, so every
+	// kernel restored from the same state may alias it, concurrently.
+	Funcs map[string]uint64
+}
+
+// CaptureState extracts the kernel's restorable state. The machine state it
+// pairs with (page-table frames included) is captured separately via
+// cpu.Machine.CopyStateFrom / the snapshot layer.
+func (k *Kernel) CaptureState() State {
+	return State{
+		Cfg:       k.cfg,
+		KernRoot:  k.kernAS.Root(),
+		UserRoot:  k.userAS.Root(),
+		BaseSlot:  k.baseSlot,
+		KASLRBase: k.kaslrBase,
+		SecretVA:  k.secretVA,
+		SecretPA:  k.secretPA,
+		Funcs:     k.funcs,
+	}
+}
+
+// Restore rebuilds a Kernel over a machine whose memory image already matches
+// st — i.e. a machine just forked from the snapshot st was captured with. No
+// boot work runs and no RNG draw happens: the machine's preallocated
+// address-space slots are rebound to the captured roots and the pipeline is
+// pointed at the user view flush-free (the TLB contents were copied with the
+// machine and must survive).
+func Restore(m *cpu.Machine, st State) *Kernel {
+	k := &Kernel{
+		m:         m,
+		cfg:       st.Cfg,
+		baseSlot:  st.BaseSlot,
+		kaslrBase: st.KASLRBase,
+		secretVA:  st.SecretVA,
+		secretPA:  st.SecretPA,
+		funcs:     st.Funcs,
+	}
+	k.kernAS = m.BindAddressSpace(0, st.KernRoot)
+	if st.UserRoot == st.KernRoot {
+		k.userAS = k.kernAS
+	} else {
+		k.userAS = m.BindAddressSpace(1, st.UserRoot)
+	}
+	m.Pipe.SetAddressSpace(k.userAS)
+	return k
+}

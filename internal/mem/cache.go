@@ -5,21 +5,29 @@ import "fmt"
 // Cache is one set-associative cache level with true-LRU replacement. It
 // tracks tags only; data is served by Physical so functional correctness
 // never depends on the timing model.
+//
+// Line validity is generational: a line is valid iff its gen matches the
+// cache's. Bumping the cache generation therefore invalidates every line in
+// O(1), which turns Reset and FlushAll — megabytes of line metadata on an
+// LLC — into counter updates. Bulk-state operations (machine reuse, snapshot
+// restore, context-switch flushes) hit these paths once per sweep cell, and
+// at LLC sizes the O(lines) clear was a measurable share of cell runtime.
 type Cache struct {
 	name   string
 	nsets  int
 	ways   int
 	shift  uint // log2(LineSize)
 	lines  []cacheLine
+	gen    uint64 // current generation; lines with a different gen are invalid
 	tick   uint64
 	hits   uint64
 	misses uint64
 }
 
 type cacheLine struct {
-	tag   uint64
-	valid bool
-	used  uint64 // LRU timestamp
+	tag  uint64
+	gen  uint64 // valid iff == Cache.gen (0 = never valid: gens start at 1)
+	used uint64 // LRU timestamp
 }
 
 // NewCache builds a cache with the given total size in bytes and
@@ -35,6 +43,7 @@ func NewCache(name string, sizeBytes, ways int) *Cache {
 		ways:  ways,
 		shift: 6,
 		lines: make([]cacheLine, nsets*ways),
+		gen:   1,
 	}
 }
 
@@ -52,7 +61,7 @@ func (c *Cache) Lookup(pa uint64) bool {
 	tag := c.tag(pa)
 	set := c.set(pa)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].gen == c.gen && set[i].tag == tag {
 			set[i].used = c.tick
 			c.hits++
 			return true
@@ -66,7 +75,7 @@ func (c *Cache) Lookup(pa uint64) bool {
 func (c *Cache) Contains(pa uint64) bool {
 	tag := c.tag(pa)
 	for _, l := range c.set(pa) {
-		if l.valid && l.tag == tag {
+		if l.gen == c.gen && l.tag == tag {
 			return true
 		}
 	}
@@ -81,14 +90,14 @@ func (c *Cache) Fill(pa uint64) (evicted uint64, hadVictim bool) {
 	tag := c.tag(pa)
 	set := c.set(pa)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].gen == c.gen && set[i].tag == tag {
 			set[i].used = c.tick
 			return 0, false // already present
 		}
 	}
 	for i := range set {
-		if !set[i].valid {
-			set[i] = cacheLine{tag: tag, valid: true, used: c.tick}
+		if set[i].gen != c.gen {
+			set[i] = cacheLine{tag: tag, gen: c.gen, used: c.tick}
 			return 0, false
 		}
 	}
@@ -99,7 +108,7 @@ func (c *Cache) Fill(pa uint64) (evicted uint64, hadVictim bool) {
 		}
 	}
 	evicted = set[victim].tag << c.shift
-	set[victim] = cacheLine{tag: tag, valid: true, used: c.tick}
+	set[victim] = cacheLine{tag: tag, gen: c.gen, used: c.tick}
 	return evicted, true
 }
 
@@ -108,29 +117,28 @@ func (c *Cache) Evict(pa uint64) bool {
 	tag := c.tag(pa)
 	set := c.set(pa)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].valid = false
+		if set[i].gen == c.gen && set[i].tag == tag {
+			set[i].gen = 0 // gens start at 1 and only grow, so 0 never matches
 			return true
 		}
 	}
 	return false
 }
 
-// FlushAll invalidates every line.
+// FlushAll invalidates every line in O(1) by advancing the generation.
 func (c *Cache) FlushAll() {
-	for i := range c.lines {
-		c.lines[i].valid = false
-	}
+	c.gen++
 }
 
 // Reset restores the cache to its freshly-constructed state: every line
-// invalid, the LRU tick rewound, and the hit/miss statistics cleared. The
-// tick rewind matters for machine reuse — LRU victim choice depends on it,
-// so a reused cache must replay the exact tick sequence of a fresh one.
+// invalid (generation bump), the LRU tick rewound, and the hit/miss
+// statistics cleared. The tick rewind matters for machine reuse — LRU victim
+// choice depends on it, so a reused cache must replay the exact tick
+// sequence of a fresh one. Stale tags and timestamps in invalidated lines
+// are unreachable: every read is gated on the line's generation, and the
+// LRU victim scan only runs in all-valid sets.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = cacheLine{}
-	}
+	c.gen++
 	c.tick = 0
 	c.hits = 0
 	c.misses = 0

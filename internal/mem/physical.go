@@ -5,7 +5,10 @@
 // Physical, which keeps the functional and timing models independent.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // PageSize is the smallest physical allocation unit.
 const PageSize = 4096
@@ -13,9 +16,26 @@ const PageSize = 4096
 // LineSize is the cache line size in bytes.
 const LineSize = 64
 
-// Physical is a sparse 64-bit physical address space.
+// Physical is a sparse 64-bit physical address space. It can be layered
+// copy-on-write over another Physical's page image (AliasBase): reads of
+// frames this space has not written fall through to the base image, and the
+// first write to such a frame copies it into a private frame. Snapshot forks
+// use this to make restoring a machine O(dirty set) instead of O(image).
 type Physical struct {
 	pages map[uint64]*[PageSize]byte
+	// base is the read-only copy-on-write underlay (nil when unlayered).
+	// It is shared with the Physical it came from and must never be
+	// written through.
+	base map[uint64]*[PageSize]byte
+	// free parks page frames dropped by Reset/CopyFrom so steady-state
+	// reuse (machine pools, snapshot forks) never allocates.
+	free []*[PageSize]byte
+	// One-entry lookup memo: page walks and line-sized accesses hammer the
+	// same few pages, and the memo turns most map probes into one compare.
+	// lastRO marks a memoized base frame, which a write must not reuse.
+	lastKey uint64
+	lastPg  *[PageSize]byte
+	lastRO  bool
 }
 
 // NewPhysical returns an empty physical memory.
@@ -25,12 +45,66 @@ func NewPhysical() *Physical {
 
 func (p *Physical) page(pa uint64, create bool) *[PageSize]byte {
 	key := pa / PageSize
-	pg := p.pages[key]
-	if pg == nil && create {
-		pg = new([PageSize]byte)
+	if p.lastPg != nil && key == p.lastKey && (!create || !p.lastRO) {
+		return p.lastPg
+	}
+	pg, ro := p.pages[key], false
+	if pg == nil {
+		if bpg := p.base[key]; bpg != nil {
+			if create {
+				// COW fault: copy the base frame up before the write.
+				pg = p.rawFrame()
+				*pg = *bpg
+				p.pages[key] = pg
+			} else {
+				pg, ro = bpg, true
+			}
+		}
+	}
+	if pg == nil {
+		if !create {
+			return nil
+		}
+		pg = p.takeFrame()
 		p.pages[key] = pg
 	}
+	p.lastKey, p.lastPg, p.lastRO = key, pg, ro
 	return pg
+}
+
+// rawFrame returns a page frame with unspecified contents, preferring the
+// freelist; callers must fully overwrite it.
+func (p *Physical) rawFrame() *[PageSize]byte {
+	if n := len(p.free); n > 0 {
+		pg := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return pg
+	}
+	return new([PageSize]byte)
+}
+
+// takeFrame returns a zeroed page frame, preferring the freelist.
+func (p *Physical) takeFrame() *[PageSize]byte {
+	if n := len(p.free); n > 0 {
+		pg := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		*pg = [PageSize]byte{}
+		return pg
+	}
+	return new([PageSize]byte)
+}
+
+// parkAll moves every owned frame onto the freelist and clears the index and
+// the copy-on-write underlay.
+func (p *Physical) parkAll() {
+	for _, pg := range p.pages {
+		p.free = append(p.free, pg)
+	}
+	clear(p.pages)
+	p.base = nil
+	p.lastPg = nil
 }
 
 // LoadByte reads one byte; unbacked memory reads as zero.
@@ -49,6 +123,17 @@ func (p *Physical) StoreByte(pa uint64, v byte) {
 // Read reads a little-endian value of size bytes (1..8).
 func (p *Physical) Read(pa uint64, size int) uint64 {
 	var v uint64
+	if off := pa % PageSize; off+uint64(size) <= PageSize {
+		// Single-page access (every aligned read): one page lookup.
+		pg := p.page(pa, false)
+		if pg == nil {
+			return 0
+		}
+		for i := 0; i < size; i++ {
+			v |= uint64(pg[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
 	for i := 0; i < size; i++ {
 		v |= uint64(p.LoadByte(pa+uint64(i))) << (8 * i)
 	}
@@ -57,6 +142,13 @@ func (p *Physical) Read(pa uint64, size int) uint64 {
 
 // Write writes a little-endian value of size bytes (1..8).
 func (p *Physical) Write(pa uint64, size int, v uint64) {
+	if off := pa % PageSize; off+uint64(size) <= PageSize {
+		pg := p.page(pa, true)
+		for i := 0; i < size; i++ {
+			pg[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
 	for i := 0; i < size; i++ {
 		p.StoreByte(pa+uint64(i), byte(v>>(8*i)))
 	}
@@ -80,14 +172,97 @@ func (p *Physical) StoreBytes(pa uint64, b []byte) {
 
 // Reset drops every backed page, returning the memory to its
 // freshly-constructed all-zero state while keeping the page index's storage
-// for reuse.
+// and the page frames themselves for reuse.
 func (p *Physical) Reset() {
-	clear(p.pages)
+	p.parkAll()
 }
 
-// PageCount returns the number of backed pages (for tests and accounting).
-func (p *Physical) PageCount() int { return len(p.pages) }
+// CopyFrom makes p's contents byte-identical to src, recycling p's existing
+// page frames: once the freelist covers src's working set, the copy performs
+// no allocations. The result is flat — src's copy-on-write layering, if any,
+// is materialized, so the copy stays correct even after src's underlay is
+// reused elsewhere.
+func (p *Physical) CopyFrom(src *Physical) {
+	p.parkAll()
+	for key, spg := range src.pages {
+		// The frame is fully overwritten, so skip takeFrame's zeroing.
+		pg := p.rawFrame()
+		*pg = *spg
+		p.pages[key] = pg
+	}
+	for key, spg := range src.base {
+		if _, shadowed := p.pages[key]; shadowed {
+			continue
+		}
+		pg := p.rawFrame()
+		*pg = *spg
+		p.pages[key] = pg
+	}
+}
+
+// AliasBase layers p copy-on-write over src's page image: reads fall through
+// to src's frames until p writes them, and the first write copies the frame
+// up into p. The caller must guarantee src's image is immutable while any
+// alias is alive — snapshot forks satisfy this by aliasing only the frozen
+// replica, which is never executed. A layered src is first flattened with a
+// full copy.
+func (p *Physical) AliasBase(src *Physical) {
+	if src.base != nil {
+		p.CopyFrom(src)
+		return
+	}
+	p.parkAll()
+	p.base = src.pages
+}
+
+// DigestFNV folds every backed page (frame number and contents) into an
+// FNV-1a-style digest, visiting pages in ascending frame order so the result
+// is independent of map iteration. The snapshot layer uses it for
+// content-addressed checkpoint IDs.
+func (p *Physical) DigestFNV(h uint64) uint64 {
+	const prime = 1099511628211
+	keys := make([]uint64, 0, len(p.pages)+len(p.base))
+	for k := range p.pages {
+		keys = append(keys, k)
+	}
+	for k := range p.base {
+		if _, shadowed := p.pages[k]; !shadowed {
+			keys = append(keys, k)
+		}
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (k >> s & 0xff)) * prime
+		}
+		// Fold the page 8 bytes at a time; pages are always word-multiple.
+		pg := p.pages[k]
+		if pg == nil {
+			pg = p.base[k]
+		}
+		for off := 0; off < PageSize; off += 8 {
+			var w uint64
+			for i := 0; i < 8; i++ {
+				w |= uint64(pg[off+i]) << (8 * i)
+			}
+			h = (h ^ w) * prime
+		}
+	}
+	return h
+}
+
+// PageCount returns the number of backed pages — owned plus un-shadowed base
+// frames (for tests and accounting).
+func (p *Physical) PageCount() int {
+	n := len(p.pages)
+	for k := range p.base {
+		if _, shadowed := p.pages[k]; !shadowed {
+			n++
+		}
+	}
+	return n
+}
 
 func (p *Physical) String() string {
-	return fmt.Sprintf("physical{%d pages}", len(p.pages))
+	return fmt.Sprintf("physical{%d pages}", p.PageCount())
 }

@@ -69,6 +69,13 @@ func (a *FrameAllocator) Alloc2M() uint64 {
 // Next exposes the bump pointer (tests and accounting).
 func (a *FrameAllocator) Next() uint64 { return a.next }
 
+// CopyFrom adopts src's base and bump pointer, so a restored machine
+// continues allocating exactly where the captured one would have.
+func (a *FrameAllocator) CopyFrom(src *FrameAllocator) {
+	a.base = src.base
+	a.next = src.next
+}
+
 // AddressSpace is one page-table tree rooted at a PML4 frame.
 type AddressSpace struct {
 	phys  *mem.Physical
@@ -83,6 +90,15 @@ func NewAddressSpace(phys *mem.Physical, alloc *FrameAllocator) *AddressSpace {
 
 // Root returns the physical address of the PML4 (the CR3 value).
 func (as *AddressSpace) Root() uint64 { return as.root }
+
+// Rebind points as at phys/alloc with an existing PML4 root, reusing the
+// struct in place. Snapshot restore uses this to rebuild address spaces whose
+// page tables were copied wholesale into phys, without allocating a frame.
+func (as *AddressSpace) Rebind(phys *mem.Physical, alloc *FrameAllocator, root uint64) {
+	as.phys = phys
+	as.alloc = alloc
+	as.root = root
+}
 
 // Phys returns the backing physical memory.
 func (as *AddressSpace) Phys() *mem.Physical { return as.phys }

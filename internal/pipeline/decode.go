@@ -145,7 +145,37 @@ func (p *Pipeline) recycleAll(r *uopRing) {
 		p.rsOcc, p.fencesPending, p.execCount, p.memCount = 0, 0, 0, 0
 		p.minDoneAt = 0
 		p.lastStartAt = ^uint64(0)
+		p.actHead, p.actTail = nil, nil
+		p.robBase = 0
 	}
+}
+
+// activePush appends u (just issued, necessarily youngest) to the active list.
+func (p *Pipeline) activePush(u *uop) {
+	u.actPrev = p.actTail
+	u.actNext = nil
+	if p.actTail != nil {
+		p.actTail.actNext = u
+	} else {
+		p.actHead = u
+	}
+	p.actTail = u
+}
+
+// activeUnlink removes u from the active list (completion, squash, or fault
+// pop). Age order of the survivors is preserved.
+func (p *Pipeline) activeUnlink(u *uop) {
+	if u.actPrev != nil {
+		u.actPrev.actNext = u.actNext
+	} else {
+		p.actHead = u.actNext
+	}
+	if u.actNext != nil {
+		u.actNext.actPrev = u.actPrev
+	} else {
+		p.actTail = u.actPrev
+	}
+	u.actNext, u.actPrev = nil, nil
 }
 
 // squashFrom emits squash traces for and recycles every uop at position >=

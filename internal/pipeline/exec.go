@@ -101,13 +101,17 @@ func (p *Pipeline) wouldStart(pos int, u *uop) bool {
 	}
 }
 
-// execute starts ready uops on available ports.
+// execute starts ready uops on available ports. Only active (not done) uops
+// can start, so the scan walks the active list — age order, like the full ROB
+// scan it replaces — skipping the started in-flight ones.
 func (p *Pipeline) execute() {
 	aluUsed, loadUsed := 0, 0
-	for pos := 0; pos < p.rob.Len(); pos++ {
-		u := p.rob.At(pos)
+	for u := p.actHead; u != nil; u = u.actNext {
 		if u.started || u.d.fence {
 			continue
+		}
+		if aluUsed >= p.cfg.ALUPorts && loadUsed >= p.cfg.LoadPorts {
+			break // every port claimed; nothing further can start
 		}
 		isMemPort := u.d.load || u.d.in.Op == isa.OpRet
 		if isMemPort && loadUsed >= p.cfg.LoadPorts {
@@ -116,7 +120,7 @@ func (p *Pipeline) execute() {
 		if !isMemPort && aluUsed >= p.cfg.ALUPorts {
 			continue
 		}
-		if !p.tryStart(pos, u) {
+		if !p.tryStart(int(u.robAbs-p.robBase), u) {
 			continue
 		}
 		if isMemPort {
@@ -216,6 +220,7 @@ func (p *Pipeline) noteDrop(u *uop) {
 	if u.done {
 		return
 	}
+	p.activeUnlink(u)
 	p.rsOcc--
 	if u.d.fence {
 		p.fencesPending--
@@ -571,10 +576,16 @@ func (p *Pipeline) complete() {
 		return
 	}
 	newMin := ^uint64(0)
-	for pos := 0; pos < p.rob.Len(); pos++ {
-		u := p.rob.At(pos)
+	// Walk the active list — completed uops can't finish twice, so visiting
+	// only !done uops in age order is exactly the ROB scan this replaces.
+	// Completions unlink the current node, so the successor is saved first.
+	for u := p.actHead; u != nil; {
+		next := u.actNext
 		if u.d.fence {
-			if !u.done && p.allOlderDone(pos) {
+			// A fence completes once every older uop has: with older
+			// completions unlinked as the scan reaches them, that is
+			// precisely when the fence has become the oldest active uop.
+			if u == p.actHead {
 				u.started = true
 				u.startAt = p.cycle
 				u.done = true
@@ -582,16 +593,20 @@ func (p *Pipeline) complete() {
 				p.rsOcc--
 				p.fencesPending--
 				p.lastStartAt = p.cycle
+				p.activeUnlink(u)
 			}
+			u = next
 			continue
 		}
-		if !u.started || u.done {
+		if !u.started {
+			u = next
 			continue
 		}
 		if p.cycle < u.doneAt {
 			if u.doneAt < newMin {
 				newMin = u.doneAt
 			}
+			u = next
 			continue
 		}
 		u.done = true
@@ -600,6 +615,7 @@ func (p *Pipeline) complete() {
 		if u.d.load || u.d.in.Op == isa.OpRet {
 			p.memCount--
 		}
+		p.activeUnlink(u)
 		switch u.d.in.Op {
 		case isa.OpJcc:
 			actual := u.d.in.Cond.Eval(u.flagsOut)
@@ -611,7 +627,7 @@ func (p *Pipeline) complete() {
 				if actual {
 					next = u.d.in.Target
 				}
-				p.recoverBranch(pos, next)
+				p.recoverBranch(int(u.robAbs-p.robBase), next)
 				// ROB truncated; stop scanning. Survivors' deadlines were
 				// not all observed, so force a rescan next cycle.
 				p.minDoneAt = p.cycle
@@ -620,6 +636,7 @@ func (p *Pipeline) complete() {
 			p.res.PMU.Inc(pmu.BpL1BtbCorrect)
 		case isa.OpRet:
 			if u.fault != FaultNone {
+				u = next
 				continue
 			}
 			actualIdx := p.prog.Index(u.retActual)
@@ -630,29 +647,21 @@ func (p *Pipeline) complete() {
 					p.fetchIdx = actualIdx
 					p.haveFetchLine = false
 				}
+				u = next
 				continue
 			}
 			if u.retActual != u.predTarget {
 				p.res.PMU.Inc(pmu.BrMispExecIndirect)
 				p.res.PMU.Inc(pmu.BrMispExecAllBranches)
-				p.recoverBranch(pos, actualIdx)
+				p.recoverBranch(int(u.robAbs-p.robBase), actualIdx)
 				p.minDoneAt = p.cycle
 				return
 			}
 			p.res.PMU.Inc(pmu.BpL1BtbCorrect)
 		}
+		u = next
 	}
 	p.minDoneAt = newMin
-}
-
-func (p *Pipeline) allOlderDone(pos int) bool {
-	for i := 0; i < pos; i++ {
-		v := p.rob.At(i)
-		if !v.done || p.cycle < v.doneAt {
-			return false
-		}
-	}
-	return true
 }
 
 // recoverBranch squashes everything younger than the mispredicted branch at

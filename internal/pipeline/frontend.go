@@ -11,42 +11,84 @@ import (
 // width. A resteer bypasses it for a few instructions (cfg.MITEResteer),
 // which is what moves delivery from DSB to MITE in the paper's Table 3 when
 // the transient Jcc triggers.
+type dsbLine struct {
+	va   uint64 // line VA
+	tick uint64 // last-use tick
+}
+
+// The line set is a small linear-scanned slice rather than a map: fetch
+// probes it every cycle, and at DSB capacities (tens of lines) a scan beats
+// hashing — with a last-hit memo making the common straight-line case O(1).
+// Ticks are unique, so LRU victim choice is deterministic either way.
 type dsbCache struct {
 	cap   int
-	lines map[uint64]uint64 // line VA -> last-use tick
+	lines []dsbLine
 	tick  uint64
+	last  int // index of the most recent hit (fast path; verified before use)
 }
 
 func newDSBCache(capacity int) *dsbCache {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &dsbCache{cap: capacity, lines: make(map[uint64]uint64, capacity)}
+	return &dsbCache{cap: capacity, lines: make([]dsbLine, 0, capacity)}
 }
 
 func (d *dsbCache) contains(lineVA uint64) bool {
-	if _, ok := d.lines[lineVA]; ok {
+	if d.last < len(d.lines) && d.lines[d.last].va == lineVA {
 		d.tick++
-		d.lines[lineVA] = d.tick
+		d.lines[d.last].tick = d.tick
 		return true
+	}
+	for i := range d.lines {
+		if d.lines[i].va == lineVA {
+			d.tick++
+			d.lines[i].tick = d.tick
+			d.last = i
+			return true
+		}
 	}
 	return false
 }
 
 func (d *dsbCache) insert(lineVA uint64) {
 	d.tick++
-	if _, ok := d.lines[lineVA]; !ok && len(d.lines) >= d.cap {
-		var lruVA, lruTick uint64
-		first := true
-		for va, tk := range d.lines {
-			if first || tk < lruTick {
-				lruVA, lruTick = va, tk
-				first = false
+	for i := range d.lines {
+		if d.lines[i].va == lineVA {
+			d.lines[i].tick = d.tick
+			d.last = i
+			return
+		}
+	}
+	if len(d.lines) >= d.cap {
+		victim := 0
+		for i := 1; i < len(d.lines); i++ {
+			if d.lines[i].tick < d.lines[victim].tick {
+				victim = i
 			}
 		}
-		delete(d.lines, lruVA)
+		d.lines[victim] = dsbLine{va: lineVA, tick: d.tick}
+		d.last = victim
+		return
 	}
-	d.lines[lineVA] = d.tick
+	d.lines = append(d.lines, dsbLine{va: lineVA, tick: d.tick})
+	d.last = len(d.lines) - 1
+}
+
+// reset empties the DSB and rewinds its LRU tick (machine reuse).
+func (d *dsbCache) reset() {
+	d.lines = d.lines[:0]
+	d.tick = 0
+	d.last = 0
+}
+
+// copyFrom makes d identical to src (snapshot restore); no allocations once
+// d's backing array has reached src's length.
+func (d *dsbCache) copyFrom(src *dsbCache) {
+	d.cap = src.cap
+	d.lines = append(d.lines[:0], src.lines...)
+	d.tick = src.tick
+	d.last = src.last
 }
 
 // fetch pulls instructions along the predicted path into the IDQ.

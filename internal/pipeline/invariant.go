@@ -136,6 +136,40 @@ func (c *InvariantChecker) checkCycle(p *Pipeline) {
 			c.violatef(p.cycle, "idq age order broken at pos %d", i)
 		}
 	}
+	// The active list must thread exactly the !done ROB uops in age order,
+	// with correct back-links and a robAbs consistent with the current ring
+	// position (robBase tracks head pops).
+	act := p.actHead
+	var prevAct *uop
+	for i := 0; i < p.rob.Len(); i++ {
+		u := p.rob.At(i)
+		if u.done {
+			continue
+		}
+		if act == nil {
+			c.violatef(p.cycle, "active list missing uop seq %d at rob pos %d", u.seq, i)
+			break
+		}
+		if act != u {
+			c.violatef(p.cycle, "active list order/membership mismatch at rob pos %d", i)
+			break
+		}
+		if got := int(u.robAbs - p.robBase); got != i {
+			c.violatef(p.cycle, "robAbs stale for seq %d: position %d, rob pos %d", u.seq, got, i)
+		}
+		if act.actPrev != prevAct {
+			c.violatef(p.cycle, "active list back-link broken at rob pos %d", i)
+		}
+		prevAct = act
+		act = act.actNext
+	}
+	if act != nil {
+		c.violatef(p.cycle, "active list holds uop(s) beyond the !done ROB set (seq %d)", act.seq)
+	}
+	if p.actTail != prevAct {
+		c.violatef(p.cycle, "active list tail %p != last !done uop %p", p.actTail, prevAct)
+	}
+
 	if rs != p.rsOcc {
 		c.violatef(p.cycle, "rsOcc aggregate %d, recount %d", p.rsOcc, rs)
 	}

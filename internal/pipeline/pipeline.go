@@ -69,6 +69,15 @@ type Pipeline struct {
 	minDoneAt     uint64
 	lastStartAt   uint64
 
+	// The active list threads every ROB uop with !done in age order, so the
+	// per-cycle execute/complete/skip scans are O(active) instead of O(ROB):
+	// in a deep transient window the ROB is mostly completed wrong-path uops
+	// that no scan needs to revisit. robBase counts ROB head pops, turning a
+	// uop's absolute slot number (robAbs) back into its current position.
+	actHead *uop
+	actTail *uop
+	robBase uint64
+
 	// Frontend state.
 	fetchIdx        int // next instruction index; -1 = fetch stopped
 	fetchStallUntil uint64
@@ -348,42 +357,36 @@ func (p *Pipeline) skipIdle() bool {
 	}
 
 	// Execution and completion: any uop that can complete or start this cycle
-	// forces a step; in-flight completions bound the horizon.
+	// forces a step; in-flight completions bound the horizon. Done uops can
+	// do neither, so the scan walks only the active list (rsOcc is the
+	// incrementally maintained count of the same set).
 	execBusy, memBusy, fencePending := false, false, false
-	rsOcc := 0
+	rsOcc := p.rsOcc
 	olderAllDone := true
-	for i := 0; i < p.rob.Len(); i++ {
-		u := p.rob.At(i)
-		if !u.done {
-			rsOcc++
-		}
+	for u := p.actHead; u != nil; u = u.actNext {
 		if u.d.fence {
-			if !u.done {
-				if olderAllDone {
-					return false
-				}
-				fencePending = true
-				olderAllDone = false
+			if olderAllDone {
+				return false
 			}
+			fencePending = true
+			olderAllDone = false
 			continue
 		}
 		if u.started {
-			if !u.done {
-				if u.doneAt <= p.cycle {
-					return false
-				}
-				horizon = minU64(horizon, u.doneAt)
-				execBusy = true
-				if u.d.load || u.d.in.Op == isa.OpRet {
-					memBusy = true
-				}
-				olderAllDone = false
+			if u.doneAt <= p.cycle {
+				return false
 			}
+			horizon = minU64(horizon, u.doneAt)
+			execBusy = true
+			if u.d.load || u.d.in.Op == isa.OpRet {
+				memBusy = true
+			}
+			olderAllDone = false
 			continue
 		}
 		// Unstarted: a uop whose operands are ready would start (or, for
 		// memory ops, at least re-walk translation) this cycle.
-		if p.wouldStart(i, u) {
+		if p.wouldStart(int(u.robAbs-p.robBase), u) {
 			return false
 		}
 		olderAllDone = false
@@ -452,12 +455,8 @@ func (p *Pipeline) skipFrozen() {
 	}
 	span := horizon - p.cycle
 	execBusy, memBusy := false, false
-	rsOcc := 0
-	for i := 0; i < p.rob.Len(); i++ {
-		u := p.rob.At(i)
-		if !u.done {
-			rsOcc++
-		}
+	rsOcc := p.rsOcc
+	for u := p.actHead; u != nil; u = u.actNext {
 		if u.executing(p.cycle) {
 			execBusy = true
 			if u.d.load || u.d.in.Op == isa.OpRet {
@@ -517,7 +516,9 @@ func (p *Pipeline) issue() {
 		}
 		u := p.idq.PopFront()
 		u.issueAt = p.cycle
+		u.robAbs = p.robBase + uint64(p.rob.Len())
 		p.rob.PushBack(u)
+		p.activePush(u)
 		p.rsOcc++
 		if u.d.fence {
 			p.fencesPending++
@@ -571,6 +572,7 @@ func (p *Pipeline) retire() error {
 		}
 		p.emitTrace(u, true)
 		p.rob.PopFront()
+		p.robBase++
 		halted := p.halted
 		p.recycleUop(u)
 		if halted {
@@ -672,6 +674,7 @@ func (p *Pipeline) raiseFault(u *uop) error {
 	p.squashFrom(&p.rob, 1)
 	p.squashFrom(&p.idq, 0)
 	p.rob.PopFront()
+	p.robBase++
 	p.noteDrop(u)
 	p.recycleUop(u)
 	p.blockedOnRet = nil
@@ -749,8 +752,7 @@ func (p *Pipeline) Reset(as *paging.AddressSpace) {
 	p.fetchStallUntil = 0
 	p.resteerUntil = 0
 	p.miteLeft = 0
-	clear(p.dsb.lines)
-	p.dsb.tick = 0
+	p.dsb.reset()
 	p.blockedOnRet = nil
 	p.lastFetchLine = 0
 	p.haveFetchLine = false
@@ -773,4 +775,51 @@ func (p *Pipeline) Reset(as *paging.AddressSpace) {
 	if p.inv != nil {
 		p.inv.noteReset(p)
 	}
+}
+
+// SetAddressSpace rebinds the page-table walker without the CR3 side effects
+// of SwitchAddressSpace (no TLB flush). Snapshot restore uses it: the TLB
+// contents are copied separately and must survive the rebind.
+func (p *Pipeline) SetAddressSpace(as *paging.AddressSpace) { p.res.AS = as }
+
+// CopyStateFrom makes p's simulation-visible state identical to src's, which
+// must be quiescent (between Execs, rings drained by retirement or abandoned).
+// Both pipelines must share a Config. The rings, arena, decode memo, tracer,
+// and invariant checker stay p's own: a quiescent pipeline's leftovers are
+// recycled on the next BeginExec without touching a single counter, so
+// dropping them here is observationally identical to carrying them. The
+// address space is NOT copied — the caller rebinds it (SetAddressSpace) to a
+// table tree over p's own physical memory.
+func (p *Pipeline) CopyStateFrom(src *Pipeline) {
+	p.recycleAll(&p.rob)
+	p.recycleAll(&p.idq)
+	p.prog = nil
+	p.dec = nil
+	p.regs = src.regs
+	p.flags = src.flags
+	p.cycle = src.cycle
+	p.seq = src.seq
+	p.fetchIdx = -1
+	p.fetchStallUntil = src.fetchStallUntil
+	p.resteerUntil = src.resteerUntil
+	p.miteLeft = src.miteLeft
+	p.dsb.copyFrom(src.dsb)
+	p.blockedOnRet = nil
+	p.lastFetchLine = src.lastFetchLine
+	p.haveFetchLine = false
+	p.recoveryUntil = src.recoveryUntil
+	p.windowDebt = src.windowDebt
+	p.windowMisp = src.windowMisp
+	p.inTxn = false
+	p.txnRegs = src.txnRegs
+	p.txnFlags = src.txnFlags
+	p.txnAbortIdx = src.txnAbortIdx
+	p.sigHandler = src.sigHandler
+	p.halted = src.halted
+	p.faults = src.faults
+	p.execStart = src.execStart
+	p.execBudget = src.execBudget
+	p.frozenUntil = src.frozenUntil
+	p.clears = p.clears[:0]
+	p.tracer = nil
 }

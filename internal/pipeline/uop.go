@@ -64,6 +64,13 @@ type uop struct {
 	waitingFlush bool // load blocked by an older in-flight clflush
 
 	mark uint64 // derivesFrom visit stamp (see Pipeline.markGen)
+
+	// Active-list linkage: every ROB uop with !done is on the pipeline's
+	// age-ordered active list, so the per-cycle execute/complete scans touch
+	// only uops that can still change state instead of the whole ROB.
+	actNext *uop
+	actPrev *uop
+	robAbs  uint64 // absolute ROB slot number; position = robAbs - robBase
 }
 
 func (u *uop) isLoad() bool   { return u.d.load }

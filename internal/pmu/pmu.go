@@ -39,3 +39,6 @@ func (p *PMU) Snapshot() Counts { return p.counts }
 
 // Reset zeroes all counters.
 func (p *PMU) Reset() { p.counts = Counts{} }
+
+// CopyFrom makes p's counters identical to src (snapshot restore).
+func (p *PMU) CopyFrom(src *PMU) { p.counts = src.counts }

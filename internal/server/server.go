@@ -522,6 +522,7 @@ func negotiateMetricsFormat(r *http.Request) (string, error) {
 // by file suffix).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	publishPoolGauges(s.reg)
+	publishSnapshotGauges(s.reg)
 	if err := ServeMetricsSnapshot(w, r, s.reg); err != nil {
 		writeError(w, r, http.StatusBadRequest, err.Error())
 	}
@@ -576,4 +577,18 @@ func publishPoolGauges(reg *obs.Registry) {
 		reg.Gauge("server.machines.reuses", lbl).Set(float64(p.stats.Reuses))
 		reg.Gauge("server.machines.idle", lbl).Set(float64(p.stats.Idle))
 	}
+}
+
+// publishSnapshotGauges refreshes the warm-state memo gauges from the
+// process-wide snapshot memo. Fork-per-cell only pays off when the memo
+// actually serves captures back, so /metrics surfaces its hit/miss traffic,
+// eviction pressure, and resident checkpoint bytes alongside the machine-pool
+// reuse gauges.
+func publishSnapshotGauges(reg *obs.Registry) {
+	st := experiments.SnapshotMemoStats()
+	reg.Gauge("server.snapshots.hits").Set(float64(st.Hits))
+	reg.Gauge("server.snapshots.misses").Set(float64(st.Misses))
+	reg.Gauge("server.snapshots.evictions").Set(float64(st.Evictions))
+	reg.Gauge("server.snapshots.entries").Set(float64(st.Entries))
+	reg.Gauge("server.snapshots.resident_bytes").Set(float64(st.ResidentBytes))
 }

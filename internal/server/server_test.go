@@ -466,3 +466,63 @@ func TestIndexMetricsTraces(t *testing.T) {
 		t.Fatal("request span missing from the exported trace")
 	}
 }
+
+// TestMetricsSnapshotMemoGauges pins the warm-state memo's /metrics surface
+// in both machine renderings: the JSON snapshot carries all five
+// server.snapshots.* gauges, and the Prometheus exposition renders each as a
+// typed gauge family that passes the linter. A renamed gauge or a rendering
+// that drops the family breaks dashboards silently, so both are golden here.
+func TestMetricsSnapshotMemoGauges(t *testing.T) {
+	srv, _ := stubServer(t, Config{}, func(ctx context.Context, req Request) ([]byte, error) {
+		return []byte("{}"), nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	gauges := []string{
+		"server.snapshots.hits",
+		"server.snapshots.misses",
+		"server.snapshots.evictions",
+		"server.snapshots.entries",
+		"server.snapshots.resident_bytes",
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, g := range gauges {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("JSON rendering missing gauge %s: %v", g, snap.Gauges)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{
+		"server_snapshots_hits",
+		"server_snapshots_misses",
+		"server_snapshots_evictions",
+		"server_snapshots_entries",
+		"server_snapshots_resident_bytes",
+	} {
+		if !bytes.Contains(body, []byte("# TYPE "+fam+" gauge")) {
+			t.Errorf("Prometheus rendering missing gauge family %s", fam)
+		}
+	}
+	if errs := obs.LintPrometheus(bytes.NewReader(body)); len(errs) != 0 {
+		t.Fatalf("Prometheus exposition fails lint: %v", errs)
+	}
+}

@@ -1,0 +1,175 @@
+package snapshot
+
+import (
+	"sync"
+
+	"whisper/internal/cpu"
+	"whisper/internal/kernel"
+)
+
+// Key identifies one warm-state equivalence class: machines booted with the
+// same model, kernel configuration, and seed — and optionally warmed with the
+// same program (WarmFP is the warm-up program's isa fingerprint, zero for
+// boot-only snapshots) — are bit-identical, so one capture serves them all.
+type Key struct {
+	Model  cpu.Model
+	Kernel kernel.Config
+	Seed   int64
+	WarmFP uint64
+}
+
+// DefaultMemoEntries bounds a memo's resident snapshots. Each snapshot holds
+// a frozen machine (dominated by cache metadata, a few MB on 8 MB-LLC
+// models), so the bound is a memory budget, not a tuning knob.
+const DefaultMemoEntries = 16
+
+// Memo is a concurrency-safe warm-state checkpoint table. Sweeps consult it
+// before booting: a hit forks, a miss boots, captures, and publishes. Least
+// recently used entries are evicted past the bound, except that the most
+// recently used entry of each experiment family stays pinned — the serving
+// path replays the same family repeatedly, and its hot snapshot must not be
+// evicted by an unrelated sweep walking many one-shot keys.
+type Memo struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*memoEntry
+	pins    map[string]*memoEntry // family -> most recently used entry
+	seen    map[Key]struct{}      // keys that have missed at least once
+	clock   uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	resident  int64
+}
+
+// seenMax bounds the missed-key ledger; overflowing clears it, which only
+// delays promotion of recurring keys by one extra miss.
+const seenMax = 4096
+
+type memoEntry struct {
+	key     Key
+	snap    *Snapshot
+	family  string
+	lastUse uint64
+}
+
+// NewMemo returns an empty memo bounded to max resident snapshots
+// (DefaultMemoEntries when max <= 0).
+func NewMemo(max int) *Memo {
+	if max <= 0 {
+		max = DefaultMemoEntries
+	}
+	return &Memo{
+		max:     max,
+		entries: make(map[Key]*memoEntry),
+		pins:    make(map[string]*memoEntry),
+		seen:    make(map[Key]struct{}),
+	}
+}
+
+// Get returns the snapshot for key, or nil on a miss. A hit refreshes the
+// entry's recency and pins it for family (when non-empty).
+//
+// The second result is the capture-promotion verdict for misses: true means
+// the key has missed before, so the boot tuple demonstrably recurs and the
+// caller should capture a snapshot after booting (Put). A first miss returns
+// false — capturing costs a frozen-machine copy plus a content digest, which
+// one-shot tuples (most sweep cells, whose seed is derived from the cell's
+// identity) would pay without ever forking.
+func (mo *Memo) Get(key Key, family string) (*Snapshot, bool) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	e := mo.entries[key]
+	if e == nil {
+		mo.misses++
+		if _, recurring := mo.seen[key]; recurring {
+			return nil, true
+		}
+		if len(mo.seen) >= seenMax {
+			clear(mo.seen)
+		}
+		mo.seen[key] = struct{}{}
+		return nil, false
+	}
+	mo.hits++
+	mo.touch(e, family)
+	return e.snap, false
+}
+
+// Put publishes a snapshot under key, pinned for family (when non-empty),
+// evicting the least recently used unpinned entry if the memo is over its
+// bound. Re-publishing an existing key refreshes it in place.
+func (mo *Memo) Put(key Key, s *Snapshot, family string) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if e := mo.entries[key]; e != nil {
+		mo.resident += s.Bytes() - e.snap.Bytes()
+		e.snap = s
+		mo.touch(e, family)
+		return
+	}
+	e := &memoEntry{key: key, snap: s, family: family}
+	mo.entries[key] = e
+	mo.resident += s.Bytes()
+	mo.touch(e, family)
+	for len(mo.entries) > mo.max {
+		if !mo.evictLRU() {
+			break // everything left is pinned
+		}
+	}
+}
+
+// touch bumps recency and family pinning; callers hold mo.mu.
+func (mo *Memo) touch(e *memoEntry, family string) {
+	mo.clock++
+	e.lastUse = mo.clock
+	if family != "" {
+		e.family = family
+		mo.pins[family] = e
+	}
+}
+
+// evictLRU drops the least recently used entry that is not a family pin,
+// reporting whether anything was evicted; callers hold mo.mu.
+func (mo *Memo) evictLRU() bool {
+	var victim *memoEntry
+	for _, e := range mo.entries {
+		if mo.pins[e.family] == e {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(mo.entries, victim.key)
+	mo.resident -= victim.snap.Bytes()
+	mo.evictions++
+	return true
+}
+
+// Stats is one memo's traffic and occupancy, in the same gauge style as
+// cpu.PoolStats so the serving layer can publish both side by side.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Entries       int
+	ResidentBytes int64
+}
+
+// Stats returns the memo's lifetime counters and current occupancy.
+func (mo *Memo) Stats() Stats {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return Stats{
+		Hits:          mo.hits,
+		Misses:        mo.misses,
+		Evictions:     mo.evictions,
+		Entries:       len(mo.entries),
+		ResidentBytes: mo.resident,
+	}
+}

@@ -230,3 +230,20 @@ func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
 // Name returns the TLB's name.
 func (t *TLB) Name() string { return t.name }
+
+// CopyFrom makes t's entries, LRU ticks, and statistics identical to src.
+// Both TLBs must share geometry (same model configuration); no allocations.
+func (t *TLB) CopyFrom(src *TLB) {
+	t.small.copyFrom(src.small)
+	t.large.copyFrom(src.large)
+	t.hits = src.hits
+	t.misses = src.misses
+}
+
+func (a *assoc) copyFrom(src *assoc) {
+	if a.nsets != src.nsets || a.ways != src.ways {
+		panic("tlb: CopyFrom geometry mismatch")
+	}
+	copy(a.ents, src.ents)
+	a.tick = src.tick
+}

@@ -16,6 +16,7 @@ import (
 	"whisper/internal/obs"
 	"whisper/internal/obs/logging"
 	"whisper/internal/pipeline"
+	"whisper/internal/snapshot"
 )
 
 // benchRecord is the BENCH_ci.json schema the CI bench-regression job
@@ -150,6 +151,117 @@ func TestServeLogDisabledZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("disabled serve-path logging allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestSnapshotForkZeroAlloc pins the snapshot subsystem's allocation
+// contract: forking a captured warm-boot checkpoint into a pooled machine
+// allocates nothing once the pool is warm. The fork path is AliasBase (O(1)
+// copy-on-write physical aliasing) plus LoadImage (O(valid lines) cache
+// replay) into the target's existing backing storage; any per-fork map,
+// slice, or page allocation reintroduced there trips this immediately.
+// Machine-level Fork is asserted — ForkKernel legitimately allocates the
+// one Kernel view struct on top.
+func TestSnapshotForkZeroAlloc(t *testing.T) {
+	m, err := cpu.NewMachine(cpu.I7_7700(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(m, kernel.Config{KASLR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.CaptureKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cpu.NewPool()
+	for i := 0; i < 8; i++ { // warm the pool and the target's page freelist
+		mc, err := snap.Fork(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(mc)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		mc, err := snap.Fork(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(mc)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state snapshot fork allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestSnapshotForkBeatsReboot is the wall-clock gate behind the snapshot
+// tentpole: restoring a warm-boot checkpoint into a pooled machine must be
+// faster than re-booting the kernel on that machine — otherwise the sweep
+// driver's fork-per-cell strategy is a pure loss and WHISPER_SNAPSHOTS should
+// default off. The margin is generous (fork must merely win; measured ~4x
+// faster) so the gate trips on a real regression — a fork path that quietly
+// re-copies the full physical image or rescans full cache metadata — not on
+// runner jitter.
+func TestSnapshotForkBeatsReboot(t *testing.T) {
+	cfg := kernel.Config{KASLR: true}
+	m, err := cpu.NewMachine(cpu.I7_7700(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.Boot(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.CaptureKernel(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := cpu.NewPool()
+
+	const iters = 200
+	forkLoop := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fk, err := snap.ForkKernel(pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool.Put(fk.Machine())
+		}
+		return time.Since(start)
+	}
+	rm, err := cpu.NewMachine(cpu.I7_7700(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebootLoop := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := kernel.Reboot(rm, cfg, 16); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Warm both paths, then take the best of 3 to shed scheduler/GC noise.
+	forkLoop()
+	rebootLoop()
+	fork, reboot := forkLoop(), rebootLoop()
+	for i := 0; i < 2; i++ {
+		if d := forkLoop(); d < fork {
+			fork = d
+		}
+		if d := rebootLoop(); d < reboot {
+			reboot = d
+		}
+	}
+	t.Logf("fork %v, reboot %v for %d cells (%.1fx)", fork, reboot, iters,
+		float64(reboot)/float64(fork))
+	if fork >= reboot {
+		t.Fatalf("snapshot fork slower than reboot: %v vs %v per %d cells — fork path regression",
+			fork, reboot, iters)
 	}
 }
 
